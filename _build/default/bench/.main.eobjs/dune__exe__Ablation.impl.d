@@ -1,0 +1,1 @@
+bench/ablation.ml: Ddb_core Ddb_logic Ddb_sat Ddb_workload Egcwa Float Fmt Formula List Lit Pigeonhole Random_db Rng Semantics Unix

@@ -1,0 +1,1 @@
+bench/extensions_bench.ml: Brave Clause Db Ddb_core Ddb_db Ddb_logic Ddb_sat Ddb_workload Dsm Egcwa Fmt Gcwa List Oracle_algorithms Qbf_encodings Random_db Rng Three_valued Unix Vocab Wfs

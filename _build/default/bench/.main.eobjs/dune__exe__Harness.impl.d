@@ -1,0 +1,1 @@
+bench/harness.ml: Ccwa Classes Db Ddb_core Ddb_db Ddb_logic Ddb_sat Ddb_workload Ddr Dsm Ecwa Egcwa Fmt Fun Gcwa Icwa List Lit Oracle_algorithms Partition Pdsm Perf Printf Pws Random_db Unix

@@ -1,0 +1,1 @@
+bench/main.ml: Ablation Array Bechamel_suite Extensions_bench Harness Oracle_bench Reduction_bench Sys

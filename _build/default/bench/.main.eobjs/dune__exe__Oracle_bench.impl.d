@@ -1,0 +1,1 @@
+bench/oracle_bench.ml: Db Ddb_core Ddb_db Ddb_logic Ddb_workload Fmt List Oracle_algorithms Partition Random_db

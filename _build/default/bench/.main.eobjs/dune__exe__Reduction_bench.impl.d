@@ -1,0 +1,1 @@
+bench/reduction_bench.ml: Ddb_core Ddb_logic Ddb_qbf Ddb_workload Dsm Egcwa Fmt Gcwa Graph List Qbf_family Reductions Semantics Unix

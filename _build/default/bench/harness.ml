@@ -1,0 +1,286 @@
+open Ddb_logic
+open Ddb_db
+open Ddb_core
+open Ddb_workload
+
+(* The table-regeneration harness: one experiment per cell of the paper's
+   Table 1 and Table 2 (semantics × {literal inference, formula inference,
+   model existence} × {positive DDBs, DDBs with integrity clauses}).
+
+   For every cell we run the decision procedure on a seeded random family at
+   a ladder of universe sizes and report wall-clock time together with the
+   oracle-call footprint (SAT calls = NP oracle, Σ₂ queries = Σ₂ᵖ oracle).
+   The claimed complexity class from the paper is printed alongside, so the
+   measured signature (polynomial growth / O(1) / oracle usage) can be read
+   off against it.  Absolute times are ours; the *shape* is the paper's. *)
+
+type measurement = {
+  n : int;
+  time_ms : float;
+  sat_calls : float;
+  sigma2_calls : float;
+}
+
+let repetitions = 3
+
+let time_once f =
+  let before = Ddb_sat.Stats.snapshot () in
+  let t0 = Unix.gettimeofday () in
+  let _ = f () in
+  let t1 = Unix.gettimeofday () in
+  let delta = Ddb_sat.Stats.delta before in
+  ((t1 -. t0) *. 1000., delta.Ddb_sat.Stats.sat, delta.Ddb_sat.Stats.sigma2)
+
+(* Average over seeded repetitions of [instance seed |> task]. *)
+let measure ~n ~instance ~task =
+  let samples =
+    List.init repetitions (fun seed ->
+        let input = instance ~seed ~num_vars:n in
+        time_once (fun () -> task input))
+  in
+  let avg f =
+    List.fold_left (fun acc s -> acc +. f s) 0. samples
+    /. float_of_int repetitions
+  in
+  {
+    n;
+    time_ms = avg (fun (t, _, _) -> t);
+    sat_calls = avg (fun (_, s, _) -> float_of_int s);
+    sigma2_calls = avg (fun (_, _, q) -> float_of_int q);
+  }
+
+type cell = {
+  semantics : string;
+  task : Classes.task;
+  sizes : int list;
+  instance : seed:int -> num_vars:int -> Db.t;
+  run : Db.t -> bool;
+}
+
+(* Negative-literal query on a mid-universe atom (closed-world queries ask
+   for negative information; see EXPERIMENTS.md). *)
+let neg_literal db = Lit.Neg (Db.num_vars db / 2)
+
+let random_query db =
+  Random_db.formula ~seed:(Db.num_vars db) ~num_vars:(Db.num_vars db) ~depth:2
+
+let run_cell cell =
+  List.map
+    (fun n -> measure ~n ~instance:cell.instance ~task:cell.run)
+    cell.sizes
+
+let pp_measurement ppf m =
+  Fmt.pf ppf "n=%-4d %8.2fms %6.0f sat %4.0f s2" m.n m.time_ms m.sat_calls
+    m.sigma2_calls
+
+let print_cell ~setting cell =
+  let claimed =
+    match Classes.lookup ~semantics:cell.semantics ~setting ~task:cell.task with
+    | Some entry ->
+      Printf.sprintf "%s%s"
+        (Classes.complexity_to_string entry.Classes.claimed)
+        (match entry.Classes.provenance with
+        | Classes.Stated -> ""
+        | Classes.Reconstructed -> " (reconstructed)")
+    | None -> "?"
+  in
+  let results = run_cell cell in
+  Fmt.pr "  %-6s %-18s  claimed: %-40s@." cell.semantics
+    (Classes.task_to_string cell.task)
+    claimed;
+  Fmt.pr "    @[<v>%a@]@." (Fmt.list ~sep:Fmt.cut pp_measurement) results
+
+(* ---- the cells ---- *)
+
+let small = [ 6; 10; 14 ]
+let medium = [ 10; 20; 40; 80 ]
+let large = [ 20; 40; 80; 160 ]
+let tiny = [ 4; 6; 8 ]
+
+(* Partition used for CCWA/ECWA cells: minimize the lower half, fix a
+   quarter, float a quarter — a deterministic stand-in for "given
+   ⟨P;Q;Z⟩". *)
+let bench_partition num_vars =
+  let all = List.init num_vars Fun.id in
+  let p = List.filter (fun x -> x mod 2 = 0) all in
+  let q = List.filter (fun x -> x mod 4 = 1) all in
+  let z = List.filter (fun x -> x mod 4 = 3) all in
+  Partition.of_lists num_vars ~p ~q ~z
+
+let stratified_instance ~seed ~num_vars =
+  Random_db.stratified ~seed ~num_vars ()
+
+let table1_cells : cell list =
+  let pos = Random_db.positive in
+  [
+    (* GCWA *)
+    { semantics = "gcwa"; task = Classes.Literal; sizes = medium;
+      instance = pos; run = (fun db -> Gcwa.infer_literal db (neg_literal db)) };
+    { semantics = "gcwa"; task = Classes.Formula; sizes = medium;
+      instance = pos;
+      run = (fun db -> (Oracle_algorithms.gcwa_formula db (random_query db)).Oracle_algorithms.answer) };
+    { semantics = "gcwa"; task = Classes.Exists; sizes = large;
+      instance = pos; run = (fun db -> Db.is_positive_ddb db) };
+    (* DDR *)
+    { semantics = "ddr"; task = Classes.Literal; sizes = large;
+      instance = pos; run = (fun db -> Ddr.infer_literal db (neg_literal db)) };
+    { semantics = "ddr"; task = Classes.Formula; sizes = large;
+      instance = pos; run = (fun db -> Ddr.infer_formula db (random_query db)) };
+    { semantics = "ddr"; task = Classes.Exists; sizes = large;
+      instance = pos; run = Ddr.has_model };
+    (* PWS *)
+    { semantics = "pws"; task = Classes.Literal; sizes = large;
+      instance = pos; run = (fun db -> Pws.infer_literal db (neg_literal db)) };
+    { semantics = "pws"; task = Classes.Formula; sizes = medium;
+      instance = pos; run = (fun db -> Pws.infer_formula db (random_query db)) };
+    { semantics = "pws"; task = Classes.Exists; sizes = large;
+      instance = pos; run = Pws.has_model };
+    (* EGCWA *)
+    { semantics = "egcwa"; task = Classes.Literal; sizes = medium;
+      instance = pos; run = (fun db -> Egcwa.infer_literal db (neg_literal db)) };
+    { semantics = "egcwa"; task = Classes.Formula; sizes = medium;
+      instance = pos; run = (fun db -> Egcwa.infer_formula db (random_query db)) };
+    { semantics = "egcwa"; task = Classes.Exists; sizes = large;
+      instance = pos; run = Egcwa.has_model };
+    (* CCWA *)
+    { semantics = "ccwa"; task = Classes.Literal; sizes = medium;
+      instance = pos;
+      run = (fun db -> Ccwa.infer_literal db (bench_partition (Db.num_vars db)) (neg_literal db)) };
+    { semantics = "ccwa"; task = Classes.Formula; sizes = [ 10; 20; 40 ];
+      (* the support computation under a nontrivial partition is the
+         hardest oracle in the suite; n = 80 costs tens of seconds *)
+      instance = pos;
+      run = (fun db ->
+        (Oracle_algorithms.ccwa_formula db (bench_partition (Db.num_vars db)) (random_query db)).Oracle_algorithms.answer) };
+    { semantics = "ccwa"; task = Classes.Exists; sizes = large;
+      instance = pos; run = (fun db -> Db.is_positive_ddb db) };
+    (* ECWA *)
+    { semantics = "ecwa"; task = Classes.Literal; sizes = medium;
+      instance = pos;
+      run = (fun db -> Ecwa.infer_literal db (bench_partition (Db.num_vars db)) (neg_literal db)) };
+    { semantics = "ecwa"; task = Classes.Formula; sizes = medium;
+      instance = pos;
+      run = (fun db -> Ecwa.infer_formula db (bench_partition (Db.num_vars db)) (random_query db)) };
+    { semantics = "ecwa"; task = Classes.Exists; sizes = large;
+      instance = pos; run = Ecwa.has_model };
+    (* ICWA (positive databases are trivially stratified) *)
+    { semantics = "icwa"; task = Classes.Literal; sizes = medium;
+      instance = pos;
+      run = (fun db -> Icwa.infer_literal db (Partition.minimize_all (Db.num_vars db)) (neg_literal db)) };
+    { semantics = "icwa"; task = Classes.Formula; sizes = medium;
+      instance = pos;
+      run = (fun db -> Icwa.infer_formula db (Partition.minimize_all (Db.num_vars db)) (random_query db)) };
+    { semantics = "icwa"; task = Classes.Exists; sizes = large;
+      instance = pos; run = Icwa.has_model };
+    (* PERF *)
+    { semantics = "perf"; task = Classes.Literal; sizes = medium;
+      instance = pos; run = (fun db -> Perf.infer_literal db (neg_literal db)) };
+    { semantics = "perf"; task = Classes.Formula; sizes = medium;
+      instance = pos; run = (fun db -> Perf.infer_formula db (random_query db)) };
+    { semantics = "perf"; task = Classes.Exists; sizes = medium;
+      instance = pos; run = Perf.has_model };
+    (* DSM *)
+    { semantics = "dsm"; task = Classes.Literal; sizes = medium;
+      instance = pos; run = (fun db -> Dsm.infer_literal db (neg_literal db)) };
+    { semantics = "dsm"; task = Classes.Formula; sizes = medium;
+      instance = pos; run = (fun db -> Dsm.infer_formula db (random_query db)) };
+    { semantics = "dsm"; task = Classes.Exists; sizes = large;
+      instance = pos; run = Dsm.has_model };
+    (* PDSM (3-valued: small universes) *)
+    { semantics = "pdsm"; task = Classes.Literal; sizes = tiny;
+      instance = pos; run = (fun db -> Pdsm.infer_literal db (neg_literal db)) };
+    { semantics = "pdsm"; task = Classes.Formula; sizes = tiny;
+      instance = pos; run = (fun db -> Pdsm.infer_formula db (random_query db)) };
+    { semantics = "pdsm"; task = Classes.Exists; sizes = small;
+      instance = pos; run = Pdsm.has_model };
+  ]
+
+let table2_cells : cell list =
+  let ic = Random_db.with_integrity in
+  let nrm = Random_db.normal in
+  [
+    { semantics = "gcwa"; task = Classes.Literal; sizes = medium;
+      instance = ic; run = (fun db -> Gcwa.infer_literal db (neg_literal db)) };
+    { semantics = "gcwa"; task = Classes.Formula; sizes = medium;
+      instance = ic;
+      run = (fun db -> (Oracle_algorithms.gcwa_formula db (random_query db)).Oracle_algorithms.answer) };
+    { semantics = "gcwa"; task = Classes.Exists; sizes = large;
+      instance = ic; run = Gcwa.has_model };
+    { semantics = "ddr"; task = Classes.Literal; sizes = large;
+      instance = ic; run = (fun db -> Ddr.infer_literal db (neg_literal db)) };
+    { semantics = "ddr"; task = Classes.Formula; sizes = large;
+      instance = ic; run = (fun db -> Ddr.infer_formula db (random_query db)) };
+    { semantics = "ddr"; task = Classes.Exists; sizes = large;
+      instance = ic; run = Ddr.has_model };
+    { semantics = "pws"; task = Classes.Literal; sizes = medium;
+      instance = ic; run = (fun db -> Pws.infer_literal db (neg_literal db)) };
+    { semantics = "pws"; task = Classes.Formula; sizes = medium;
+      instance = ic; run = (fun db -> Pws.infer_formula db (random_query db)) };
+    { semantics = "pws"; task = Classes.Exists; sizes = medium;
+      instance = ic; run = Pws.has_model };
+    { semantics = "egcwa"; task = Classes.Literal; sizes = medium;
+      instance = ic; run = (fun db -> Egcwa.infer_literal db (neg_literal db)) };
+    { semantics = "egcwa"; task = Classes.Formula; sizes = medium;
+      instance = ic; run = (fun db -> Egcwa.infer_formula db (random_query db)) };
+    { semantics = "egcwa"; task = Classes.Exists; sizes = large;
+      instance = ic; run = Egcwa.has_model };
+    { semantics = "ccwa"; task = Classes.Literal; sizes = medium;
+      instance = ic;
+      run = (fun db -> Ccwa.infer_literal db (bench_partition (Db.num_vars db)) (neg_literal db)) };
+    { semantics = "ccwa"; task = Classes.Formula; sizes = medium;
+      instance = ic;
+      run = (fun db ->
+        (Oracle_algorithms.ccwa_formula db (bench_partition (Db.num_vars db)) (random_query db)).Oracle_algorithms.answer) };
+    { semantics = "ccwa"; task = Classes.Exists; sizes = large;
+      instance = ic; run = Ccwa.has_model };
+    { semantics = "ecwa"; task = Classes.Literal; sizes = medium;
+      instance = ic;
+      run = (fun db -> Ecwa.infer_literal db (bench_partition (Db.num_vars db)) (neg_literal db)) };
+    { semantics = "ecwa"; task = Classes.Formula; sizes = medium;
+      instance = ic;
+      run = (fun db -> Ecwa.infer_formula db (bench_partition (Db.num_vars db)) (random_query db)) };
+    { semantics = "ecwa"; task = Classes.Exists; sizes = large;
+      instance = ic; run = Ecwa.has_model };
+    { semantics = "icwa"; task = Classes.Literal; sizes = medium;
+      instance = stratified_instance;
+      run = (fun db -> Icwa.infer_literal db (Partition.minimize_all (Db.num_vars db)) (neg_literal db)) };
+    { semantics = "icwa"; task = Classes.Formula; sizes = medium;
+      instance = stratified_instance;
+      run = (fun db -> Icwa.infer_formula db (Partition.minimize_all (Db.num_vars db)) (random_query db)) };
+    { semantics = "icwa"; task = Classes.Exists; sizes = large;
+      instance = stratified_instance; run = Icwa.has_model };
+    { semantics = "perf"; task = Classes.Literal; sizes = medium;
+      instance = nrm; run = (fun db -> Perf.infer_literal db (neg_literal db)) };
+    { semantics = "perf"; task = Classes.Formula; sizes = medium;
+      instance = nrm; run = (fun db -> Perf.infer_formula db (random_query db)) };
+    { semantics = "perf"; task = Classes.Exists; sizes = medium;
+      instance = nrm; run = Perf.has_model };
+    { semantics = "dsm"; task = Classes.Literal; sizes = medium;
+      instance = nrm; run = (fun db -> Dsm.infer_literal db (neg_literal db)) };
+    { semantics = "dsm"; task = Classes.Formula; sizes = medium;
+      instance = nrm; run = (fun db -> Dsm.infer_formula db (random_query db)) };
+    { semantics = "dsm"; task = Classes.Exists; sizes = medium;
+      instance = nrm; run = Dsm.has_model };
+    { semantics = "pdsm"; task = Classes.Literal; sizes = tiny;
+      instance = nrm; run = (fun db -> Pdsm.infer_literal db (neg_literal db)) };
+    { semantics = "pdsm"; task = Classes.Formula; sizes = tiny;
+      instance = nrm; run = (fun db -> Pdsm.infer_formula db (random_query db)) };
+    { semantics = "pdsm"; task = Classes.Exists; sizes = tiny;
+      instance = nrm; run = Pdsm.has_model };
+  ]
+
+let print_table ~title ~setting cells =
+  Fmt.pr "@.=== %s ===@." title;
+  Fmt.pr "  (time averaged over %d seeded instances; 'sat' = NP-oracle calls, 's2' = Sigma2-oracle queries)@."
+    repetitions;
+  List.iter (print_cell ~setting) cells
+
+let table1 () =
+  print_table
+    ~title:"Table 1: positive propositional DDBs (no integrity clauses, no negation)"
+    ~setting:Classes.Table1 table1_cells
+
+let table2 () =
+  print_table
+    ~title:"Table 2: propositional DDBs (with integrity clauses)"
+    ~setting:Classes.Table2 table2_cells

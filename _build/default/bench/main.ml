@@ -1,0 +1,38 @@
+(* Benchmark entry point.
+
+     dune exec bench/main.exe              — run everything
+     dune exec bench/main.exe -- table1    — only Table 1
+     dune exec bench/main.exe -- table2    — only Table 2
+     dune exec bench/main.exe -- oracle    — Σ₂-oracle log-vs-linear study
+     dune exec bench/main.exe -- reductions
+     dune exec bench/main.exe -- ablation
+     dune exec bench/main.exe -- extensions  — brave/WFS/CWA-log studies
+     dune exec bench/main.exe -- bechamel  — Bechamel micro-benchmarks
+
+   See EXPERIMENTS.md for how each section maps to the paper's tables. *)
+
+let usage () =
+  prerr_endline
+    "usage: main.exe [table1|table2|oracle|reductions|ablation|extensions|bechamel|all]"
+
+let () =
+  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let all = mode = "all" in
+  let ran = ref false in
+  let section name f =
+    if all || mode = name then begin
+      ran := true;
+      f ()
+    end
+  in
+  section "table1" Harness.table1;
+  section "table2" Harness.table2;
+  section "oracle" Oracle_bench.run;
+  section "reductions" Reduction_bench.run;
+  section "ablation" Ablation.run;
+  section "extensions" Extensions_bench.run;
+  section "bechamel" Bechamel_suite.run;
+  if not !ran then begin
+    usage ();
+    exit 1
+  end

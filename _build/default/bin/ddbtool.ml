@@ -1,0 +1,406 @@
+open Ddb_logic
+open Ddb_db
+open Ddb_core
+open Cmdliner
+
+(* ddbtool — command-line front end to the disjunctive database semantics.
+
+     ddbtool classify db.ddb
+     ddbtool models db.ddb --semantics egcwa
+     ddbtool query db.ddb --semantics gcwa --query "~c"
+     ddbtool exists db.ddb --semantics dsm
+     ddbtool semantics
+
+   Database files use the clause syntax of Ddb_logic.Parse:
+     a | b :- c, not d.      % rule
+     :- a, b.                % integrity clause
+     e.                      % fact                                      *)
+
+(* Files ending in .dl are non-ground Datalog and are grounded on load;
+   anything else is parsed as propositional clauses. *)
+let load_db path =
+  try
+    if Filename.check_suffix path ".dl" then
+      Ok (Ddb_ground.Grounder.of_file path).Ddb_ground.Grounder.db
+    else Ok (Db.of_file path)
+  with
+  | Parse.Error msg -> Error (`Msg (Printf.sprintf "parse error: %s" msg))
+  | Ddb_ground.Parse.Error msg ->
+    Error (`Msg (Printf.sprintf "datalog parse error: %s" msg))
+  | Ddb_ground.Grounder.Error msg ->
+    Error (`Msg (Printf.sprintf "grounding error: %s" msg))
+  | Sys_error msg -> Error (`Msg msg)
+
+let db_arg =
+  let parse path = load_db path in
+  let print ppf _ = Fmt.string ppf "<db>" in
+  Arg.(
+    required
+    & pos 0 (some (conv (parse, print))) None
+    & info [] ~docv:"DB"
+        ~doc:
+          "Database file: .ddb clause syntax, or non-ground Datalog if the \
+           name ends in .dl (grounded on load).")
+
+let semantics_arg =
+  let parse name =
+    match Registry.find name with
+    | Some s -> Ok s
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown semantics %S (try: %s)" name
+             (String.concat ", " Registry.names)))
+  in
+  let print ppf (s : Semantics.t) = Fmt.string ppf s.Semantics.name in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Egcwa.semantics
+    & info [ "s"; "semantics" ] ~docv:"SEM"
+        ~doc:
+          (Printf.sprintf "Semantics to evaluate under; one of: %s."
+             (String.concat ", " Registry.names)))
+
+let limit_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "limit" ] ~docv:"N" ~doc:"Report at most $(docv) models.")
+
+let check_applicable (sem : Semantics.t) db =
+  if sem.Semantics.applicable db then Ok ()
+  else
+    Error
+      (`Msg
+        (Printf.sprintf
+           "the %s semantics is not applicable to this database (e.g. it \
+            requires a negation-free or stratified database)"
+           sem.Semantics.name))
+
+(* --- classify --- *)
+
+let classify db =
+  let vocab = Db.vocab db in
+  Fmt.pr "clauses:            %d@." (Db.size db);
+  Fmt.pr "atoms:              %d@." (Db.num_vars db);
+  Fmt.pr "disjunctive:        %b@." (Db.has_disjunction db);
+  Fmt.pr "integrity clauses:  %b@." (Db.has_integrity db);
+  Fmt.pr "negation:           %b@." (Db.has_negation db);
+  let kind =
+    if Db.is_positive_ddb db then "positive DDB (Table 1 fragment)"
+    else if Db.is_dddb db then "DDDB (disjunctive deductive database)"
+    else
+      match Stratify.compute db with
+      | Some _ -> "DSDB (disjunctive stratified database)"
+      | None -> "DNDB (disjunctive normal database, unstratified)"
+  in
+  Fmt.pr "class:              %s@." kind;
+  (match Stratify.compute db with
+  | Some s ->
+    Fmt.pr "stratification:@.";
+    List.iteri
+      (fun i stratum ->
+        Fmt.pr "  S%d = %a@." (i + 1) (Interp.pp ~vocab) stratum)
+      (Stratify.strata s)
+  | None -> Fmt.pr "stratification:     none (recursion through negation)@.");
+  Ok ()
+
+(* --- models --- *)
+
+let models db (sem : Semantics.t) limit brute =
+  Result.bind (check_applicable sem db) @@ fun () ->
+  if (not brute) && Db.num_vars db > 22 then
+    Error
+      (`Msg
+        "model listing enumerates the universe; use --brute to force it on \
+         more than 22 atoms")
+  else begin
+    let vocab = Db.vocab db in
+    let all = sem.Semantics.reference_models db in
+    let all = match limit with Some k -> List.filteri (fun i _ -> i < k) all | None -> all in
+    Fmt.pr "%d model(s) under %s:@." (List.length all) sem.Semantics.name;
+    List.iter (fun m -> Fmt.pr "  %a@." (Interp.pp ~vocab) m) all;
+    Ok ()
+  end
+
+let brute_arg =
+  Arg.(value & flag & info [ "brute" ] ~doc:"Allow large enumerations.")
+
+(* --- query --- *)
+
+(* --- ⟨P;Q;Z⟩ partitions from the command line --- *)
+
+let atom_list_conv =
+  let parse s = Ok (String.split_on_char ',' s |> List.filter (( <> ) "")) in
+  let print ppf names = Fmt.string ppf (String.concat "," names) in
+  Arg.conv (parse, print)
+
+let minimize_arg =
+  Arg.(
+    value
+    & opt (some atom_list_conv) None
+    & info [ "minimize" ] ~docv:"ATOMS"
+        ~doc:"Comma-separated atoms to minimize (the P part of ⟨P;Q;Z⟩).")
+
+let fixed_arg =
+  Arg.(
+    value
+    & opt atom_list_conv []
+    & info [ "fixed" ] ~docv:"ATOMS" ~doc:"Atoms held fixed (Q).")
+
+let vary_arg =
+  Arg.(
+    value
+    & opt atom_list_conv []
+    & info [ "vary" ] ~docv:"ATOMS" ~doc:"Atoms left floating (Z).")
+
+(* Build a partition: named atoms go to their bucket; unmentioned atoms
+   default to P (minimized), matching the GCWA convention. *)
+let build_partition db ~minimize ~fixed ~vary =
+  let vocab = Db.vocab db in
+  let n = Db.num_vars db in
+  let resolve bucket names =
+    List.fold_left
+      (fun acc name ->
+        Result.bind acc (fun ids ->
+            match Vocab.find_opt vocab name with
+            | Some id when id < n -> Ok (id :: ids)
+            | Some _ | None ->
+              Error
+                (`Msg (Printf.sprintf "%s: unknown atom %S" bucket name))))
+      (Ok []) names
+  in
+  Result.bind (resolve "--fixed" fixed) @@ fun q ->
+  Result.bind (resolve "--vary" vary) @@ fun z ->
+  Result.bind
+    (match minimize with
+    | None -> Ok None
+    | Some names -> Result.map Option.some (resolve "--minimize" names))
+  @@ fun p ->
+  let p =
+    match p with
+    | Some p -> p
+    | None ->
+      (* everything not fixed or floating *)
+      List.filter (fun x -> not (List.mem x q || List.mem x z)) (Db.atoms db)
+  in
+  match Partition.of_lists n ~p ~q ~z with
+  | part -> Ok part
+  | exception Invalid_argument msg -> Error (`Msg msg)
+
+let pp_witness vocab ppf = function
+  | Brave.Two_valued m -> Interp.pp ~vocab ppf m
+  | Brave.Three_valued_witness i -> Three_valued.pp ~vocab ppf i
+
+let query db (sem : Semantics.t) query_str brave witness ~minimize ~fixed
+    ~vary =
+  Result.bind (check_applicable sem db) @@ fun () ->
+  let vocab = Db.vocab db in
+  match Parse.formula vocab query_str with
+  | exception Parse.Error msg ->
+    Error (`Msg (Printf.sprintf "query parse error: %s" msg))
+  | f when minimize <> None || fixed <> [] || vary <> [] ->
+    (* explicit ⟨P;Q;Z⟩: route to the partition-parametric engines *)
+    let db = Semantics.for_query db f in
+    Result.bind (build_partition db ~minimize ~fixed ~vary) @@ fun part ->
+    let answer =
+      match sem.Semantics.name with
+      | "ccwa" ->
+        if brave then Ok (Brave.ccwa db part f)
+        else Ok (Ccwa.infer_formula db part f)
+      | "ecwa" ->
+        if brave then Ok (Brave.ecwa db part f)
+        else Ok (Ecwa.infer_formula db part f)
+      | "circ" ->
+        if brave then Ok (Brave.ecwa db part f)
+        else Ok (Circ.infer_formula db part f)
+      | "icwa" ->
+        if brave then Ok (Brave.icwa db part f)
+        else Ok (Icwa.infer_formula db part f)
+      | other ->
+        Error
+          (`Msg
+            (Printf.sprintf
+               "--minimize/--fixed/--vary need a partition-parametric \
+                semantics (ccwa, ecwa, circ, icwa), not %s"
+               other))
+    in
+    Result.bind answer @@ fun answer ->
+    Fmt.pr "%s(DB) %s %a   (%a)@." sem.Semantics.name
+      (if answer then if brave then "|~" else "|=" else if brave then "|/~"
+       else "|/=")
+      (Formula.pp ~vocab) f (Partition.pp ~vocab) part;
+    Ok ()
+  | f ->
+    if brave then begin
+      match Brave.witness_by_name sem.Semantics.name db f with
+      | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "no brave engine for semantics %s"
+               sem.Semantics.name))
+      | Some w ->
+        Fmt.pr "%s(DB) %s %a   (brave)@." sem.Semantics.name
+          (if w <> None then "|~" else "|/~")
+          (Formula.pp ~vocab) f;
+        (match w with
+        | Some w when witness -> Fmt.pr "witness: %a@." (pp_witness vocab) w
+        | _ -> ());
+        Ok ()
+    end
+    else begin
+      let answer = sem.Semantics.infer_formula db f in
+      Fmt.pr "%s(DB) %s %a@." sem.Semantics.name
+        (if answer then "|=" else "|/=")
+        (Formula.pp ~vocab) f;
+      (* a counterexample to a failed cautious query is a brave witness
+         for the negation *)
+      if (not answer) && witness then begin
+        match Brave.witness_by_name sem.Semantics.name db (Formula.not_ f) with
+        | Some (Some w) -> Fmt.pr "counterexample: %a@." (pp_witness vocab) w
+        | Some None | None -> ()
+      end;
+      Ok ()
+    end
+
+let query_str_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "q"; "query" ] ~docv:"FORMULA"
+        ~doc:
+          "Query formula, e.g. \"~a & (b | c)\"; ground Datalog atoms like \
+           \"win(b)\" are single atoms.")
+
+let brave_flag =
+  Arg.(
+    value & flag
+    & info [ "brave" ]
+        ~doc:"Credulous inference: true in SOME intended model.")
+
+let witness_flag =
+  Arg.(
+    value & flag
+    & info [ "witness" ]
+        ~doc:
+          "Print a witnessing model (brave) or a counterexample model \
+           (failed cautious query).")
+
+(* --- exists --- *)
+
+let exists db (sem : Semantics.t) =
+  Result.bind (check_applicable sem db) @@ fun () ->
+  Fmt.pr "%s(DB) %s@." sem.Semantics.name
+    (if sem.Semantics.has_model db then "has a model" else "has no model");
+  Ok ()
+
+(* --- count --- *)
+
+let count db (sem : Semantics.t) brute =
+  Result.bind (check_applicable sem db) @@ fun () ->
+  if (not brute) && Db.num_vars db > 22 then
+    Error
+      (`Msg
+        "model counting enumerates the universe; use --brute to force it on \
+         more than 22 atoms")
+  else begin
+    Fmt.pr "%d model(s) under %s@."
+      (List.length (sem.Semantics.reference_models db))
+      sem.Semantics.name;
+    Ok ()
+  end
+
+(* --- ground --- *)
+
+let ground_cmd_impl path =
+  if not (Filename.check_suffix path ".dl") then
+    Error (`Msg "ground expects a .dl Datalog file")
+  else
+    try
+      let g = Ddb_ground.Grounder.of_file path in
+      Fmt.pr "%% grounded from %s (%d constants)@." path
+        (List.length g.Ddb_ground.Grounder.constants);
+      Fmt.pr "%a@." Db.pp g.Ddb_ground.Grounder.db;
+      Ok ()
+    with
+    | Ddb_ground.Parse.Error msg ->
+      Error (`Msg (Printf.sprintf "datalog parse error: %s" msg))
+    | Ddb_ground.Grounder.Error msg ->
+      Error (`Msg (Printf.sprintf "grounding error: %s" msg))
+    | Sys_error msg -> Error (`Msg msg)
+
+let path_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"FILE" ~doc:"Non-ground Datalog file (.dl).")
+
+(* --- semantics list --- *)
+
+let list_semantics () =
+  List.iter
+    (fun (s : Semantics.t) ->
+      Fmt.pr "%-8s %s@." s.Semantics.name s.Semantics.long_name)
+    Registry.all;
+  Ok ()
+
+(* --- command wiring --- *)
+
+let handle = function
+  | Ok () -> `Ok ()
+  | Error (`Msg m) -> `Error (false, m)
+
+let classify_cmd =
+  Cmd.v (Cmd.info "classify" ~doc:"Classify a database (DDDB/DSDB/DNDB, strata)")
+    Term.(ret (const (fun db -> handle (classify db)) $ db_arg))
+
+let models_cmd =
+  Cmd.v (Cmd.info "models" ~doc:"List the models under a semantics")
+    Term.(
+      ret
+        (const (fun db sem limit brute -> handle (models db sem limit brute))
+        $ db_arg $ semantics_arg $ limit_arg $ brute_arg))
+
+let query_cmd =
+  Cmd.v (Cmd.info "query" ~doc:"Decide SEM(DB) |= FORMULA (cautious or brave)")
+    Term.(
+      ret
+        (const (fun db sem q brave witness minimize fixed vary ->
+             handle (query db sem q brave witness ~minimize ~fixed ~vary))
+        $ db_arg $ semantics_arg $ query_str_arg $ brave_flag $ witness_flag
+        $ minimize_arg $ fixed_arg $ vary_arg))
+
+let exists_cmd =
+  Cmd.v (Cmd.info "exists" ~doc:"Decide whether SEM(DB) has a model")
+    Term.(
+      ret
+        (const (fun db sem -> handle (exists db sem))
+        $ db_arg $ semantics_arg))
+
+let ground_cmd =
+  Cmd.v
+    (Cmd.info "ground"
+       ~doc:"Ground a Datalog file and print the propositional program")
+    Term.(ret (const (fun path -> handle (ground_cmd_impl path)) $ path_arg))
+
+let count_cmd =
+  Cmd.v (Cmd.info "count" ~doc:"Count the models under a semantics")
+    Term.(
+      ret
+        (const (fun db sem brute -> handle (count db sem brute))
+        $ db_arg $ semantics_arg $ brute_arg))
+
+let semantics_cmd =
+  Cmd.v (Cmd.info "semantics" ~doc:"List the available semantics")
+    Term.(ret (const (fun () -> handle (list_semantics ())) $ const ()))
+
+let main_cmd =
+  let doc = "disjunctive database semantics (Eiter & Gottlob, PODS-93)" in
+  Cmd.group
+    (Cmd.info "ddbtool" ~version:"1.0.0" ~doc)
+    [
+      classify_cmd; models_cmd; query_cmd; exists_cmd; count_cmd; ground_cmd;
+      semantics_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/diagnosis.ml: Db Ddb_db Ddb_logic Ddb_workload Diagnosis Fmt Interp List

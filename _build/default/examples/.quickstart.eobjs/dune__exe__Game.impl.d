@@ -1,0 +1,1 @@
+examples/game.ml: Ddb_core Ddb_db Ddb_ground Ddb_logic Dsm Fmt Grounder Interp List Pdsm Three_valued Wfs

@@ -1,0 +1,1 @@
+examples/graph_coloring.ml: Db Ddb_core Ddb_db Ddb_logic Ddb_workload Egcwa Fmt Fun Graph Interp List Semantics

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Db Ddb_core Ddb_db Ddb_logic Ddr Egcwa Fmt Gcwa Interp List Models Parse Possible Pws Registry Semantics Vocab

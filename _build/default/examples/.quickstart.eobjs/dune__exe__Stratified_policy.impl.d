@@ -1,0 +1,1 @@
+examples/stratified_policy.ml: Db Ddb_core Ddb_db Ddb_logic Dsm Fmt Icwa Interp List Parse Partition Perf Stratify

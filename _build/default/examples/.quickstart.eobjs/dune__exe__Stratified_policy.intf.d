@@ -1,0 +1,1 @@
+examples/stratified_policy.mli:

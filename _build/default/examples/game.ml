@@ -1,0 +1,98 @@
+(* Two-player game positions in non-ground Datalog:
+
+     win(X) :- move(X, Y), not win(Y).
+
+   grounded into the propositional core and evaluated under the
+   negation-handling semantics: the well-founded semantics classifies
+   positions into won / lost / drawn (undefined = the classic game-theoretic
+   draw on cycles), and the stable models are the ways the draw region can
+   be consistently split.
+
+     dune exec examples/game.exe                                           *)
+
+open Ddb_logic
+open Ddb_core
+open Ddb_ground
+
+let () =
+  (* A board with a winning ladder (a -> b -> c, c terminal), a drawn cycle
+     (p <-> q), and an escape from the cycle (q -> c). *)
+  let program =
+    {|
+      move(a, b).  move(b, c).
+      move(p, q).  move(q, p).  move(q, c).
+      win(X) :- move(X, Y), not win(Y).
+    |}
+  in
+  let g = Grounder.of_string program in
+  let db = g.Grounder.db in
+  Fmt.pr "Ground program (%d clauses over %d atoms):@.%a@.@."
+    (Ddb_db.Db.size db) (Ddb_db.Db.num_vars db) Ddb_db.Db.pp db;
+
+  (* Well-founded classification. *)
+  let w = Wfs.compute db in
+  let positions = [ "a"; "b"; "c"; "p"; "q" ] in
+  Fmt.pr "Well-founded game values:@.";
+  List.iter
+    (fun pos ->
+      let value =
+        match Grounder.atom_id g "win" [ pos ] with
+        | Some id -> Three_valued.value w id
+        | None -> Three_valued.F (* never derivable: certainly lost *)
+      in
+      Fmt.pr "  %-4s %s@." pos
+        (match value with
+        | Three_valued.T -> "won"
+        | Three_valued.F -> "lost"
+        | Three_valued.U -> "drawn (undefined)"))
+    positions;
+  Fmt.pr "@.";
+
+  (* Game theory says: c is lost (no moves), b is won (move to c), a is
+     lost (only move hands the win to b).  q is won (it can escape to the
+     lost c); p is lost?  p -> q and q is won... p's only move goes to a
+     winning position: p is lost.  Nothing is drawn here because the cycle
+     has an escape. *)
+  let value pos =
+    match Grounder.atom_id g "win" [ pos ] with
+    | Some id -> Three_valued.value w id
+    | None -> Three_valued.F
+  in
+  assert (value "c" = Three_valued.F);
+  assert (value "b" = Three_valued.T);
+  assert (value "a" = Three_valued.F);
+  assert (value "q" = Three_valued.T);
+  assert (value "p" = Three_valued.F);
+  assert (Wfs.is_total db);
+
+  (* With the escape removed, the p/q cycle becomes a genuine draw: WFS
+     leaves both undefined, and the stable semantics sees the two ways of
+     breaking the tie. *)
+  let g' =
+    Grounder.of_string
+      {|
+        move(p, q).  move(q, p).
+        win(X) :- move(X, Y), not win(Y).
+      |}
+  in
+  let db' = g'.Grounder.db in
+  let w' = Wfs.compute db' in
+  let value' pos =
+    match Grounder.atom_id g' "win" [ pos ] with
+    | Some id -> Three_valued.value w' id
+    | None -> Three_valued.F
+  in
+  Fmt.pr "Pure cycle p <-> q:@.";
+  Fmt.pr "  WFS: win(p) and win(q) are both drawn (undefined)@.";
+  assert (value' "p" = Three_valued.U);
+  assert (value' "q" = Three_valued.U);
+  let stables = Dsm.stable_models db' in
+  Fmt.pr "  stable models (%d): each breaks the cycle one way@."
+    (List.length stables);
+  List.iter
+    (fun m -> Fmt.pr "    %a@." (Interp.pp ~vocab:g'.Grounder.vocab) m)
+    stables;
+  assert (List.length stables = 2);
+  (* and the partial stable models add the well-founded draw *)
+  assert (List.length (Pdsm.partial_stable_models db') = 3);
+  Fmt.pr "  partial stable models: 3 (the two splits plus the draw)@."

@@ -1,0 +1,1 @@
+lib/core/brave.ml: Ccwa Cnf Cwa Db Ddb_db Ddb_logic Ddb_sat Ddr Dsm Formula Gcwa Icwa Interp Minimal Mm Option Partition Pdsm Perf Pws Semantics Solver Three_valued

@@ -1,0 +1,1 @@
+lib/core/brave.mli: Db Ddb_db Ddb_logic Formula Interp Partition Three_valued

@@ -1,0 +1,1 @@
+lib/core/circ.ml: Db Ddb_db Ddb_logic Ddb_sat Formula Interp List Lit Minimal Models Option Partition Semantics Solver

@@ -1,0 +1,1 @@
+lib/core/circ.mli: Db Ddb_db Ddb_logic Ddb_sat Formula Interp Lit Partition Semantics Solver

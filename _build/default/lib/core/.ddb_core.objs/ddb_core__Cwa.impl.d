@@ -1,0 +1,1 @@
+lib/core/cwa.ml: Db Ddb_db Ddb_logic Ddb_sat Formula Interp List Lit Mm Models Semantics Solver

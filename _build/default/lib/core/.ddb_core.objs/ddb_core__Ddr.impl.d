@@ -1,0 +1,1 @@
+lib/core/ddr.ml: Db Ddb_db Ddb_logic Formula Interp List Lit Mm Models Semantics Tp

@@ -1,0 +1,1 @@
+lib/core/dsm.ml: Db Ddb_db Ddb_logic Ddb_sat Formula Interp List Models Option Partition Reduct Semantics

@@ -1,0 +1,1 @@
+lib/core/dsm.mli: Db Ddb_db Ddb_logic Formula Interp Lit Semantics

@@ -1,0 +1,1 @@
+lib/core/ecwa.ml: Db Ddb_db Ddb_logic Formula Models Partition Semantics

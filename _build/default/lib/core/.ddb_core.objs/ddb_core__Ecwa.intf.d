@@ -1,0 +1,1 @@
+lib/core/ecwa.mli: Db Ddb_db Ddb_logic Formula Interp Lit Partition Semantics

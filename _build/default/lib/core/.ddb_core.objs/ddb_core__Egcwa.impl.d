@@ -1,0 +1,1 @@
+lib/core/egcwa.ml: Db Ddb_db Ddb_logic Formula List Models Semantics

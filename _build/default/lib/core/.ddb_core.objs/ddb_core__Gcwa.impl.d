@@ -1,0 +1,1 @@
+lib/core/gcwa.ml: Db Ddb_db Ddb_logic Ddb_sat Formula Interp List Lit Minimal Mm Models Partition Semantics

@@ -1,0 +1,1 @@
+lib/core/gcwa.mli: Db Ddb_db Ddb_logic Formula Interp Lit Semantics

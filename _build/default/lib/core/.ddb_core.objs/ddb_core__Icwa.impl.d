@@ -1,0 +1,1 @@
+lib/core/icwa.ml: Clause Cnf Db Ddb_db Ddb_logic Ddb_sat Enum Formula Interp List Minimal Models Partition Semantics Solver Stratify

@@ -1,0 +1,1 @@
+lib/core/mm.ml: Db Ddb_db Ddb_logic Ddb_sat Formula Interp List Lit Minimal Models Partition Solver

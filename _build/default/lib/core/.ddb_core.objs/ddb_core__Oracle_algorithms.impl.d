@@ -1,0 +1,1 @@
+lib/core/oracle_algorithms.ml: Db Ddb_db Ddb_logic Ddb_sat Formula Fun Interp Lazy List Lit Minimal Mm Option Partition Semantics Solver Stats

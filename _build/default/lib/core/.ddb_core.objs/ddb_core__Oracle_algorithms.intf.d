@@ -1,0 +1,1 @@
+lib/core/oracle_algorithms.mli: Db Ddb_db Ddb_logic Formula Partition

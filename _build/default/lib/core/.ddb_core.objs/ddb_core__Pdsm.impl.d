@@ -1,0 +1,1 @@
+lib/core/pdsm.ml: Clause Db Ddb_db Ddb_logic Ddb_sat Enum Formula Interp List Lit Option Semantics Solver Three_valued

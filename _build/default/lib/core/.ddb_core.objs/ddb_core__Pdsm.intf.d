@@ -1,0 +1,1 @@
+lib/core/pdsm.mli: Db Ddb_db Ddb_logic Formula Interp Lit Semantics Three_valued

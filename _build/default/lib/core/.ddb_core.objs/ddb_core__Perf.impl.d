@@ -1,0 +1,1 @@
+lib/core/perf.ml: Db Ddb_db Ddb_logic Ddb_sat Formula Interp Option Priority Semantics

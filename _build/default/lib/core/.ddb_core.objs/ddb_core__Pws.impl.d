@@ -1,0 +1,1 @@
+lib/core/pws.ml: Cnf Db Ddb_db Ddb_logic Ddb_sat Enum Formula Interp List Lit Option Possible Semantics Solver Tp

@@ -1,0 +1,1 @@
+lib/core/qbf_encodings.ml: Cegar Db Ddb_db Ddb_logic Ddb_qbf Formula List Lit Qbf Semantics

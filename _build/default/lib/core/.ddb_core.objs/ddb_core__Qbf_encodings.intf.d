@@ -1,0 +1,1 @@
+lib/core/qbf_encodings.mli: Db Ddb_db Ddb_logic Ddb_qbf Formula Qbf

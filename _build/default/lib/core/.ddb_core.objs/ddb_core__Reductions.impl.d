@@ -1,0 +1,1 @@
+lib/core/reductions.ml: Clause Db Ddb_db Ddb_logic Ddb_qbf Ddb_sat Formula Fun List Lit Option Partition Printf Qbf Vocab

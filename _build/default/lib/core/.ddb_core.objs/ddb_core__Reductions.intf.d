@@ -1,0 +1,1 @@
+lib/core/reductions.mli: Db Ddb_db Ddb_logic Ddb_qbf Lit Qbf

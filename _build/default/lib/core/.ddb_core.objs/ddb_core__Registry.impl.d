@@ -1,0 +1,1 @@
+lib/core/registry.ml: Ccwa Circ Cwa Ddr Dsm Ecwa Egcwa Gcwa Icwa List Pdsm Perf Pws Semantics String

@@ -1,0 +1,1 @@
+lib/core/semantics.ml: Db Ddb_db Ddb_logic Formula Interp List Lit

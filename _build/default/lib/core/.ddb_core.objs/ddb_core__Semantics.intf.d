@@ -1,0 +1,1 @@
+lib/core/semantics.mli: Db Ddb_db Ddb_logic Formula Interp Lit

@@ -1,0 +1,1 @@
+lib/core/wfs.ml: Clause Db Ddb_db Ddb_logic Ddb_sat Formula Horn Interp List Semantics Three_valued

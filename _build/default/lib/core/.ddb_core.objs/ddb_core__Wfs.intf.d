@@ -1,0 +1,1 @@
+lib/core/wfs.mli: Db Ddb_db Ddb_logic Formula Interp Lit Three_valued

@@ -1,0 +1,83 @@
+open Ddb_logic
+open Ddb_db
+
+(* CCWA — the Careful Closed World Assumption of Gelfond & Przymusinska.
+
+   Given a partition ⟨P;Q;Z⟩, CCWA adds ¬x for every x ∈ P false in all
+   (P;Z)-minimal models:
+
+     CCWA(DB) = { M ∈ M(DB) : ∀x ∈ P.  MM(DB;P;Z) ⊨ ¬x  ⇒  M ⊨ ¬x }
+
+   GCWA is the special case Q = Z = ∅.  All entry points take the partition
+   explicitly; [semantics] packs the GCWA-compatible default (minimize
+   everything) for registry use. *)
+
+let negated_atoms db part = Mm.negated_atoms db part
+
+let entails_neg_literal db part x =
+  if not (Interp.mem (Partition.p part) x) then
+    (* Only P-atoms are closed; for others fall back to the augmented
+       theory. *)
+    Mm.augmented_entails db (negated_atoms db part)
+      (Formula.Not (Formula.Atom x))
+  else
+    match
+      Ddb_sat.Minimal.find_minimal_such_that
+        ~extra:[ [ Lit.Pos x ] ]
+        (Db.theory db) part
+    with
+    | Some _ -> false (* a (P;Z)-minimal model contains x: a CCWA model *)
+    | None -> true (* x false in all (P;Z)-minimal models *)
+
+(* The query must live inside the partitioned universe. *)
+let infer_formula db part f =
+  if Formula.max_atom f >= Partition.universe_size part then
+    invalid_arg "Ccwa.infer_formula: query atom outside the partition";
+  Mm.augmented_entails db (negated_atoms db part) f
+
+let infer_literal db part = function
+  | Lit.Neg x -> entails_neg_literal db part x
+  | Lit.Pos x -> Mm.augmented_entails db (negated_atoms db part) (Formula.Atom x)
+
+(* MM(DB;P;Z) ⊆ CCWA(DB) (a minimal model can only contain supported
+   P-atoms), so CCWA is consistent iff DB is. *)
+let has_model db = Models.has_model db
+
+let reference_models db part =
+  let minimal = Models.brute_minimal_models ~part db in
+  let negs =
+    Interp.of_pred (Db.num_vars db) (fun x ->
+        Interp.mem (Partition.p part) x
+        && not (List.exists (fun m -> Interp.mem m x) minimal))
+  in
+  List.filter
+    (fun m -> Interp.is_empty (Interp.inter m negs))
+    (Models.brute_models db)
+
+let semantics_with part : Semantics.t =
+  {
+    name = "ccwa";
+    long_name = "Careful Closed World Assumption (Gelfond & Przymusinska)";
+    applicable = (fun db -> Db.num_vars db = Partition.universe_size part);
+    has_model;
+    infer_formula = (fun db f -> infer_formula db part f);
+    infer_literal = (fun db l -> infer_literal db part l);
+    reference_models = (fun db -> reference_models db part);
+  }
+
+let semantics : Semantics.t =
+  {
+    name = "ccwa";
+    long_name = "Careful Closed World Assumption (Gelfond & Przymusinska)";
+    applicable = (fun _ -> true);
+    has_model;
+    infer_formula =
+      (fun db f ->
+        let db = Semantics.for_query db f in
+        infer_formula db (Partition.minimize_all (Db.num_vars db)) f);
+    infer_literal =
+      (fun db l ->
+        infer_literal db (Partition.minimize_all (Db.num_vars db)) l);
+    reference_models =
+      (fun db -> reference_models db (Partition.minimize_all (Db.num_vars db)));
+  }

@@ -1,0 +1,24 @@
+open Ddb_logic
+open Ddb_db
+
+(** CCWA — the Careful CWA of Gelfond & Przymusinska: given ⟨P;Q;Z⟩, add
+    ¬x for every x ∈ P false in all (P;Z)-minimal models.  GCWA is the
+    special case Q = Z = ∅. *)
+
+val negated_atoms : Db.t -> Partition.t -> Interp.t
+
+val entails_neg_literal : Db.t -> Partition.t -> int -> bool
+(** One minimal-model oracle query for x ∈ P. *)
+
+val infer_formula : Db.t -> Partition.t -> Formula.t -> bool
+(** @raise Invalid_argument if the query leaves the partitioned universe. *)
+
+val infer_literal : Db.t -> Partition.t -> Lit.t -> bool
+val has_model : Db.t -> bool
+val reference_models : Db.t -> Partition.t -> Interp.t list
+
+val semantics_with : Partition.t -> Semantics.t
+(** Packed semantics closing over an explicit partition. *)
+
+val semantics : Semantics.t
+(** Packed with the total partition ⟨V;∅;∅⟩ (= GCWA). *)

@@ -1,0 +1,123 @@
+(* The paper's claimed complexity classifications (Tables 1 and 2) as data,
+   consumed by the bench harness and EXPERIMENTS.md.
+
+   The OCR of the PODS text garbles superscripts and merges some cells; each
+   entry is tagged with its provenance:
+     - [Stated]: legible in the text (or in the quoted surrounding prose);
+     - [Reconstructed]: inferred from the prose, the journal version's
+       framing, or the structure of the semantics (justification recorded in
+       EXPERIMENTS.md). *)
+
+type complexity =
+  | Const (* O(1) *)
+  | Poly (* P *)
+  | Np
+  | Conp
+  | Pi2 (* Π₂ᵖ-complete *)
+  | Sigma2 (* Σ₂ᵖ-complete *)
+  | Theta3 (* Π₂ᵖ-hard, in P^Σ₂ᵖ[O(log n)] *)
+
+let complexity_to_string = function
+  | Const -> "O(1)"
+  | Poly -> "in P"
+  | Np -> "NP-complete"
+  | Conp -> "coNP-complete"
+  | Pi2 -> "Pi2p-complete"
+  | Sigma2 -> "Sigma2p-complete"
+  | Theta3 -> "Pi2p-hard, in P^Sigma2p[O(log n)]"
+
+type task = Literal | Formula | Exists
+
+let task_to_string = function
+  | Literal -> "literal inference"
+  | Formula -> "formula inference"
+  | Exists -> "model existence"
+
+type setting = Table1 (* positive: no integrity clauses, no negation *)
+             | Table2 (* integrity clauses allowed *)
+
+type provenance = Stated | Reconstructed
+
+type entry = {
+  semantics : string;
+  setting : setting;
+  task : task;
+  claimed : complexity;
+  provenance : provenance;
+}
+
+let e semantics setting task claimed provenance =
+  { semantics; setting; task; claimed; provenance }
+
+let claimed : entry list =
+  [
+    (* ---- Table 1: positive propositional DDBs ---- *)
+    e "gcwa" Table1 Literal Pi2 Stated;
+    e "gcwa" Table1 Formula Theta3 Stated;
+    e "gcwa" Table1 Exists Const Reconstructed; (* consistent by all-true model *)
+    e "ddr" Table1 Literal Poly Stated; (* Chan; negative literals *)
+    e "ddr" Table1 Formula Conp Stated;
+    e "ddr" Table1 Exists Const Reconstructed; (* occurrence set is a model *)
+    e "pws" Table1 Literal Poly Stated; (* Chan; negative literals *)
+    e "pws" Table1 Formula Conp Stated;
+    e "pws" Table1 Exists Const Reconstructed; (* any split's lfp is possible *)
+    e "egcwa" Table1 Literal Pi2 Stated;
+    e "egcwa" Table1 Formula Pi2 Reconstructed; (* Thm 3.6/3.7: Pi2-hard, in Pi2 *)
+    e "egcwa" Table1 Exists Const Stated;
+    e "ccwa" Table1 Literal Theta3 Stated; (* "Pi2-hard, in P^Sigma2[O(log n)]" *)
+    e "ccwa" Table1 Formula Theta3 Reconstructed;
+    e "ccwa" Table1 Exists Const Reconstructed;
+    e "ecwa" Table1 Literal Pi2 Stated; (* = CIRC *)
+    e "ecwa" Table1 Formula Pi2 Stated;
+    e "ecwa" Table1 Exists Const Reconstructed;
+    e "icwa" Table1 Literal Pi2 Stated; (* Thm 4.2 *)
+    e "icwa" Table1 Formula Pi2 Stated; (* Thm 4.1 *)
+    e "icwa" Table1 Exists Const Reconstructed;
+    e "perf" Table1 Literal Pi2 Stated;
+    e "perf" Table1 Formula Pi2 Reconstructed;
+    e "perf" Table1 Exists Const Reconstructed; (* perfect = minimal on positive DBs *)
+    e "dsm" Table1 Literal Pi2 Stated;
+    e "dsm" Table1 Formula Pi2 Reconstructed;
+    e "dsm" Table1 Exists Const Stated; (* "if DB is positive, deciding model existence is trivial" *)
+    e "pdsm" Table1 Literal Pi2 Stated;
+    e "pdsm" Table1 Formula Pi2 Reconstructed;
+    e "pdsm" Table1 Exists Const Reconstructed;
+    (* ---- Table 2: propositional DDBs with integrity clauses ---- *)
+    e "gcwa" Table2 Literal Pi2 Stated;
+    e "gcwa" Table2 Formula Theta3 Stated;
+    e "gcwa" Table2 Exists Np Reconstructed; (* = consistency of DB *)
+    e "ddr" Table2 Literal Conp Stated; (* Chan *)
+    e "ddr" Table2 Formula Conp Stated;
+    e "ddr" Table2 Exists Np Reconstructed; (* augmented-theory consistency *)
+    e "pws" Table2 Literal Conp Stated; (* Chan *)
+    e "pws" Table2 Formula Conp Stated;
+    e "pws" Table2 Exists Np Reconstructed; (* guess a possible model *)
+    e "egcwa" Table2 Literal Pi2 Stated;
+    e "egcwa" Table2 Formula Pi2 Reconstructed;
+    e "egcwa" Table2 Exists Np Stated;
+    e "ccwa" Table2 Literal Theta3 Stated;
+    e "ccwa" Table2 Formula Theta3 Reconstructed;
+    e "ccwa" Table2 Exists Np Reconstructed;
+    e "ecwa" Table2 Literal Pi2 Stated;
+    e "ecwa" Table2 Formula Pi2 Stated;
+    e "ecwa" Table2 Exists Np Reconstructed;
+    e "icwa" Table2 Literal Pi2 Stated;
+    e "icwa" Table2 Formula Pi2 Stated;
+    e "icwa" Table2 Exists Const Stated; (* given a stratification *)
+    e "perf" Table2 Literal Pi2 Stated;
+    e "perf" Table2 Formula Pi2 Stated;
+    e "perf" Table2 Exists Sigma2 Stated;
+    e "dsm" Table2 Literal Pi2 Stated;
+    e "dsm" Table2 Formula Pi2 Stated;
+    e "dsm" Table2 Exists Sigma2 Stated;
+    e "pdsm" Table2 Literal Pi2 Stated;
+    e "pdsm" Table2 Formula Pi2 Stated;
+    e "pdsm" Table2 Exists Sigma2 Stated; (* holds even without integrity clauses [8] *)
+  ]
+
+let lookup ~semantics ~setting ~task =
+  List.find_opt
+    (fun entry ->
+      String.equal entry.semantics semantics
+      && entry.setting = setting && entry.task = task)
+    claimed

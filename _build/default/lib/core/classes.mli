@@ -1,0 +1,28 @@
+(** The paper's claimed complexity classifications (Tables 1 and 2) as
+    data, with per-cell provenance (OCR-legible vs reconstructed — see
+    EXPERIMENTS.md). *)
+
+type complexity = Const | Poly | Np | Conp | Pi2 | Sigma2 | Theta3
+
+val complexity_to_string : complexity -> string
+
+type task = Literal | Formula | Exists
+
+val task_to_string : task -> string
+
+type setting = Table1 | Table2
+
+type provenance = Stated | Reconstructed
+
+type entry = {
+  semantics : string;
+  setting : setting;
+  task : task;
+  claimed : complexity;
+  provenance : provenance;
+}
+
+val claimed : entry list
+(** All 60 cells: 10 semantics × 3 tasks × 2 settings. *)
+
+val lookup : semantics:string -> setting:setting -> task:task -> entry option

@@ -1,0 +1,13 @@
+open Ddb_logic
+open Ddb_db
+
+(** CWA — Reiter's Closed World Assumption (the baseline the disjunctive
+    semantics repair): add ¬x for every atom not classically entailed.
+    Frequently inconsistent on disjunctive databases. *)
+
+val negated_atoms : Db.t -> Interp.t
+val has_model : Db.t -> bool
+val infer_formula : Db.t -> Formula.t -> bool
+val infer_literal : Db.t -> Lit.t -> bool
+val reference_models : Db.t -> Interp.t list
+val semantics : Semantics.t

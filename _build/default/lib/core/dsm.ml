@@ -1,0 +1,74 @@
+open Ddb_logic
+open Ddb_db
+
+(* DSM — Przymusinski's Disjunctive Stable Model semantics, generalizing
+   Gelfond–Lifschitz stable models to disjunctive heads:
+
+     DSM(DB) = { M : M ∈ MM(DB^M) }
+
+   where DB^M is the Gelfond–Lifschitz reduct.  Facts used:
+     - DSM(DB) ⊆ MM(DB) — so the engines enumerate minimal models of DB and
+       screen each with the stability check;
+     - the stability check is: M ⊨ DB^M and M is a ⊆-minimal model of DB^M
+       (one SAT call after a polynomial reduct computation);
+     - on positive databases DB^M = DB, hence DSM(DB) = MM(DB): Table 1's
+       DSM row collapses onto EGCWA. *)
+
+let is_stable db m =
+  let reduct = Reduct.gl db m in
+  Db.satisfied_by m reduct
+  && Ddb_sat.Minimal.is_minimal (Db.theory reduct)
+       (Partition.minimize_all (Db.num_vars db))
+       m
+
+exception Found of Interp.t
+
+let find_stable_such_that ?(pred = fun _ -> true) ?extra db =
+  try
+    Ddb_sat.Minimal.iter_minimal ?extra (Db.theory db) (fun m ->
+        if pred m && is_stable db m then raise (Found m) else `Continue);
+    None
+  with Found m -> Some m
+
+let infer_formula db f =
+  let db = Semantics.for_query db f in
+  let n = Db.num_vars db in
+  let not_f = Formula.not_ f in
+  let extra_clauses, _, out = Ddb_sat.Cnf.tseitin ~next_var:n not_f in
+  let extra = [ out ] :: extra_clauses in
+  match find_stable_such_that ~pred:(fun m -> Formula.eval m not_f) ~extra db with
+  | Some _ -> false
+  | None -> true
+
+let infer_literal db l = infer_formula db (Formula.of_lit l)
+
+let has_model db =
+  if Db.is_positive_ddb db then true (* DSM = MM, and MM(DB) ≠ ∅ *)
+  else Option.is_some (find_stable_such_that db)
+
+let stable_models ?limit db =
+  let acc = ref [] in
+  let count = ref 0 in
+  Ddb_sat.Minimal.iter_minimal (Db.theory db) (fun m ->
+      if is_stable db m then begin
+        acc := m :: !acc;
+        incr count
+      end;
+      match limit with
+      | Some k when !count >= k -> `Stop
+      | _ -> `Continue);
+  List.rev !acc
+
+let reference_models db =
+  List.filter (fun m -> is_stable db m) (Models.brute_models db)
+
+let semantics : Semantics.t =
+  {
+    name = "dsm";
+    long_name = "Disjunctive Stable Models (Przymusinski)";
+    applicable = (fun _ -> true);
+    has_model;
+    infer_formula;
+    infer_literal;
+    reference_models;
+  }

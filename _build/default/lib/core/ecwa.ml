@@ -1,0 +1,51 @@
+open Ddb_logic
+open Ddb_db
+
+(* ECWA — the Extended CWA of Gelfond, Przymusinska & Przymusinski: for a
+   partition ⟨P;Q;Z⟩ the meaning of DB is the set of (P;Z)-minimal models,
+
+     ECWA_{P;Z}(DB) = MM(DB; P; Z).
+
+   EGCWA is the special case Q = Z = ∅.  In the finite propositional case
+   ECWA coincides with circumscription (see {!Circ}, implemented
+   independently from the circumscription schema; the equivalence is a
+   property test). *)
+
+let infer_formula db part f =
+  if Formula.max_atom f >= Partition.universe_size part then
+    invalid_arg "Ecwa.infer_formula: query atom outside the partition";
+  Models.minimal_entails ~part db f
+
+let infer_literal db part l = infer_formula db part (Formula.of_lit l)
+
+let has_model db =
+  if Db.is_positive_ddb db then true else Models.has_model db
+
+let reference_models db part = Models.brute_minimal_models ~part db
+
+let semantics_with part : Semantics.t =
+  {
+    name = "ecwa";
+    long_name = "Extended CWA (Gelfond, Przymusinska & Przymusinski)";
+    applicable = (fun db -> Db.num_vars db = Partition.universe_size part);
+    has_model;
+    infer_formula = (fun db f -> infer_formula db part f);
+    infer_literal = (fun db l -> infer_literal db part l);
+    reference_models = (fun db -> reference_models db part);
+  }
+
+let semantics : Semantics.t =
+  {
+    name = "ecwa";
+    long_name = "Extended CWA (Gelfond, Przymusinska & Przymusinski)";
+    applicable = (fun _ -> true);
+    has_model;
+    infer_formula =
+      (fun db f ->
+        let db = Semantics.for_query db f in
+        infer_formula db (Partition.minimize_all (Db.num_vars db)) f);
+    infer_literal =
+      (fun db l -> infer_literal db (Partition.minimize_all (Db.num_vars db)) l);
+    reference_models =
+      (fun db -> reference_models db (Partition.minimize_all (Db.num_vars db)));
+  }

@@ -1,0 +1,13 @@
+open Ddb_logic
+open Ddb_db
+
+(** ECWA — the Extended CWA: [ECWA_{P;Z}(DB) = MM(DB;P;Z)], equivalent to
+    circumscription in the finite propositional case (the independent
+    schema implementation lives in {!Circ}). *)
+
+val infer_formula : Db.t -> Partition.t -> Formula.t -> bool
+val infer_literal : Db.t -> Partition.t -> Lit.t -> bool
+val has_model : Db.t -> bool
+val reference_models : Db.t -> Partition.t -> Interp.t list
+val semantics_with : Partition.t -> Semantics.t
+val semantics : Semantics.t

@@ -1,0 +1,70 @@
+open Ddb_logic
+open Ddb_sat
+open Ddb_db
+
+(* GCWA — Minker's Generalized Closed World Assumption.
+
+     GCWA(DB) = { M ∈ M(DB) : ∀x ∈ V.  MM(DB) ⊨ ¬x  ⇒  M ⊨ ¬x }
+
+   i.e. the models of DB augmented with ¬x for every atom false in all
+   minimal models.  Key facts used below:
+     - MM(DB) ⊆ GCWA(DB), so GCWA(DB) ≠ ∅ iff DB is consistent;
+     - GCWA(DB) ⊨ ¬x  iff  no minimal model contains x (one minimal-model
+       oracle query — the paper's "it suffices to check a restricted set of
+       DB models");
+     - GCWA(DB) ⊨ F reduces to classical entailment from the augmented
+       theory once the support set S = {x : x true in some minimal model}
+       is known. *)
+
+let part db = Partition.minimize_all (Db.num_vars db)
+
+let negated_atoms db = Mm.negated_atoms db (part db)
+
+(* GCWA(DB) ⊨ ¬x: a single minimal-model query, Π₂ᵖ-style. *)
+let entails_neg_literal db x =
+  if x >= Db.num_vars db then true (* unknown atoms are false by closure *)
+  else
+    match
+      Minimal.find_minimal_such_that
+        ~extra:[ [ Lit.Pos x ] ]
+        (Db.theory db) (part db)
+    with
+    | Some _ -> false (* a minimal model contains x: it is a GCWA model *)
+    | None -> true (* x false in all minimal models (vacuously if none) *)
+
+(* GCWA(DB) ⊨ x: every model of the augmented theory contains x. *)
+let entails_pos_literal db x =
+  Mm.augmented_entails db (negated_atoms db) (Formula.Atom x)
+
+let infer_literal db = function
+  | Lit.Pos x -> entails_pos_literal db x
+  | Lit.Neg x -> entails_neg_literal db x
+
+let infer_formula db f =
+  let db = Semantics.for_query db f in
+  Mm.augmented_entails db (negated_atoms db) f
+
+let has_model db = Models.has_model db
+
+(* Reference engine. *)
+let reference_models db =
+  let n = Db.num_vars db in
+  let minimal = Models.brute_minimal_models db in
+  let negs =
+    Interp.of_pred n (fun x ->
+        not (List.exists (fun m -> Interp.mem m x) minimal))
+  in
+  List.filter
+    (fun m -> Interp.is_empty (Interp.inter m negs))
+    (Models.brute_models db)
+
+let semantics : Semantics.t =
+  {
+    name = "gcwa";
+    long_name = "Generalized Closed World Assumption (Minker)";
+    applicable = (fun _ -> true);
+    has_model;
+    infer_formula;
+    infer_literal;
+    reference_models;
+  }

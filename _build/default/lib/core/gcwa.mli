@@ -1,0 +1,22 @@
+open Ddb_logic
+open Ddb_db
+
+(** GCWA — Minker's Generalized Closed World Assumption.
+
+    [GCWA(DB) = { M ∈ M(DB) : ∀x. (MM(DB) ⊨ ¬x) ⇒ M ⊨ ¬x }].
+    Literal inference is Π₂ᵖ-complete, formula inference is Π₂ᵖ-hard and in
+    P^Σ₂ᵖ[O(log n)] (see {!Oracle_algorithms}), model existence coincides
+    with consistency. *)
+
+val negated_atoms : Db.t -> Interp.t
+(** The closed-world augmentation: atoms false in all minimal models. *)
+
+val entails_neg_literal : Db.t -> int -> bool
+(** [GCWA(DB) ⊨ ¬x] — one minimal-model oracle query. *)
+
+val entails_pos_literal : Db.t -> int -> bool
+val infer_literal : Db.t -> Lit.t -> bool
+val infer_formula : Db.t -> Formula.t -> bool
+val has_model : Db.t -> bool
+val reference_models : Db.t -> Interp.t list
+val semantics : Semantics.t

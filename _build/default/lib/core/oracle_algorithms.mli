@@ -1,0 +1,35 @@
+open Ddb_logic
+open Ddb_db
+
+(** The paper's oracle-bounded algorithms, with explicit query counting.
+
+    - GCWA/CCWA formula inference in P^Σ₂ᵖ[O(log n)] (binary search for the
+      support-set size, then one combined query), against the per-atom
+      P^Σ₂ᵖ[O(n)] baseline;
+    - CWA consistency in P^NP[O(log n)] (the paper's Section 3 remark),
+      against the per-atom baseline. *)
+
+type report = { answer : bool; sigma2_queries : int; p_size : int }
+
+val entails_log : Db.t -> Partition.t -> Formula.t -> report
+(** CCWA_{⟨P;Q;Z⟩}(DB) ⊨ F with ≤ ⌈log₂(|P|+1)⌉ + 1 Σ₂ᵖ-oracle queries. *)
+
+val entails_linear : Db.t -> Partition.t -> Formula.t -> report
+(** Same answer with |P| + 1 queries (ablation baseline). *)
+
+val gcwa_formula : Db.t -> Formula.t -> report
+(** [entails_log] at the total partition. *)
+
+val ccwa_formula : Db.t -> Partition.t -> Formula.t -> report
+
+val log_bound : int -> int
+(** Upper bound on the log algorithms' query count for a universe of the
+    given size. *)
+
+type np_report = { consistent : bool; np_queries : int; universe : int }
+
+val cwa_consistency_log : Db.t -> np_report
+(** CWA(DB) ≠ ∅ with ≤ ⌈log₂(n+1)⌉ + 1 NP-oracle queries. *)
+
+val cwa_consistency_linear : Db.t -> np_report
+(** Same with n + 1 queries. *)

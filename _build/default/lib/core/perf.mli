@@ -1,0 +1,17 @@
+open Ddb_logic
+open Ddb_db
+
+(** PERF — Przymusinski's Perfect Model Semantics.  Perfect models are the
+    minimal models no model is preferable to under the clause-derived
+    priority relation (see {!Ddb_db.Priority}); the engines walk minimal
+    models lazily and screen each with a one-SAT-call perfectness check. *)
+
+val find_perfect_such_that :
+  ?pred:(Interp.t -> bool) -> ?extra:Lit.t list list -> Db.t -> Interp.t option
+
+val infer_formula : Db.t -> Formula.t -> bool
+val infer_literal : Db.t -> Lit.t -> bool
+val has_model : Db.t -> bool
+val perfect_models : ?limit:int -> Db.t -> Interp.t list
+val reference_models : Db.t -> Interp.t list
+val semantics : Semantics.t

@@ -1,0 +1,179 @@
+open Ddb_logic
+open Ddb_qbf
+open Ddb_db
+
+(* Executable versions of the paper's hardness reductions.  Each reduction
+   maps a canonical complete problem to a database decision problem; the
+   test suite verifies answer preservation against independent solvers on
+   random instances, and the bench harness uses the images as provably hard
+   workload families.
+
+   Atom layout for the QBF reductions over source variables 0..n-1:
+     2v   — "v is true"    (atom t_v)
+     2v+1 — "v is false"   (atom f_v)
+     2n   — the witness atom w.                                         *)
+
+let target_vocab qbf =
+  let n = qbf.Qbf.num_vars in
+  let vocab = Vocab.create ~capacity:((2 * n) + 1) () in
+  for v = 0 to n - 1 do
+    ignore (Vocab.intern vocab (Printf.sprintf "t%d" v));
+    ignore (Vocab.intern vocab (Printf.sprintf "f%d" v))
+  done;
+  ignore (Vocab.intern vocab "w");
+  vocab
+
+let atom_of_lit = function Lit.Pos v -> 2 * v | Lit.Neg v -> (2 * v) + 1
+
+(* Common core: the positive database whose minimal models containing w
+   correspond exactly to X-assignments under which ∀Y E holds.
+
+     t_v ∨ f_v.                    for every source variable v
+     t_y ← w.   f_y ← w.           for every Y-variable y
+     w ← term*.                    for every DNF term of the matrix
+
+   Claim (used for GCWA/EGCWA/ECWA/CIRC/ICWA/PERF/DSM hardness):
+   ∃X∀Y E is valid iff some minimal model contains w; equivalently
+   GCWA(DB) ⊨ ¬w iff the QBF is invalid. *)
+let qbf_core_clauses qbf =
+  if qbf.Qbf.prefix <> Qbf.Exists_forall then
+    invalid_arg "Reductions: the construction expects an exists-forall QBF";
+  let w = 2 * qbf.Qbf.num_vars in
+  let pair_facts =
+    List.map
+      (fun v -> Clause.fact [ 2 * v; (2 * v) + 1 ])
+      (qbf.Qbf.block1 @ qbf.Qbf.block2)
+  in
+  let y_collapse =
+    List.concat_map
+      (fun y ->
+        [
+          Clause.make ~head:[ 2 * y ] ~pos:[ w ] ~neg:[];
+          Clause.make ~head:[ (2 * y) + 1 ] ~pos:[ w ] ~neg:[];
+        ])
+      qbf.Qbf.block2
+  in
+  let terms = Formula.dnf qbf.Qbf.matrix in
+  let w_rules =
+    List.map
+      (fun term ->
+        Clause.make ~head:[ w ] ~pos:(List.map atom_of_lit term) ~neg:[])
+      terms
+  in
+  (pair_facts @ y_collapse @ w_rules, w)
+
+(* Π₂ᵖ-hardness of literal inference under minimal-model based semantics on
+   positive DDBs (Table 1): GCWA(DB) ⊨ ¬w iff the ∃∀ QBF is invalid. *)
+let qbf_to_gcwa qbf =
+  let clauses, w = qbf_core_clauses qbf in
+  (Db.make ~vocab:(target_vocab qbf) clauses, w)
+
+(* Σ₂ᵖ-hardness of stable-model existence on DNDBs without integrity
+   clauses (Table 2): adding  w ← ¬w  forces w into every stable model, so
+   DB has a disjunctive stable model iff the ∃∀ QBF is valid. *)
+let qbf_to_dsm_exists qbf =
+  let clauses, w = qbf_core_clauses qbf in
+  let guard = Clause.make ~head:[ w ] ~pos:[] ~neg:[ w ] in
+  Db.make ~vocab:(target_vocab qbf) (guard :: clauses)
+
+(* NP-hardness of EGCWA model existence with integrity clauses (Table 2):
+   a CNF clause becomes a database clause with the positive literals as the
+   head and the negated atoms as the body; all-negative clauses become
+   integrity clauses.  EGCWA(DB) = MM(DB) ≠ ∅ iff the CNF is satisfiable. *)
+let sat_to_egcwa_exists ~num_vars clauses =
+  let vocab = Vocab.of_size ~prefix:"v" num_vars in
+  Db.make ~vocab (List.map Clause.of_lits clauses)
+
+(* UMINSAT — does a CNF (as a database) have a *unique* minimal model?  The
+   paper (Prop. 5.4/Lemma 5.5) uses this coNP-hard, likely-not-in-coD^P
+   problem for the perfect-model lower bounds. *)
+let has_unique_minimal_model db =
+  let theory = Db.theory db in
+  let part = Partition.minimize_all (Db.num_vars db) in
+  match Ddb_sat.Minimal.find_minimal theory part with
+  | None -> false (* inconsistent: zero minimal models *)
+  | Some m1 ->
+    let different =
+      Ddb_sat.Enum.blocking_clause ~universe:(Db.num_vars db) m1
+    in
+    Option.is_none
+      (Ddb_sat.Minimal.find_minimal_such_that ~extra:[ different ] theory part)
+
+(* Reference answers for the reduction tests. *)
+
+let gcwa_image_answer db w =
+  (* "some minimal model contains w" via the oracle engine *)
+  Option.is_some
+    (Ddb_sat.Minimal.find_minimal_such_that
+       ~extra:[ [ Lit.Pos w ] ]
+       (Db.theory db)
+       (Partition.minimize_all (Db.num_vars db)))
+
+(* NP-completeness of stable-model existence for *normal* (non-disjunctive)
+   programs (Marek & Truszczynski; Bidoit & Froidevaux — the paper cites
+   both): a CNF over variables 0..n-1 maps to the program
+
+     t_v :- not f_v.    f_v :- not t_v.        (choose an assignment)
+     :- comp(l1), ..., comp(lk)                (kill falsified clauses)
+
+   where comp(v) = f_v and comp(¬v) = t_v.  Stable models ↔ satisfying
+   assignments. *)
+let sat_to_nlp_stable ~num_vars clauses =
+  let vocab = Vocab.create ~capacity:(2 * num_vars) () in
+  for v = 0 to num_vars - 1 do
+    ignore (Vocab.intern vocab (Printf.sprintf "t%d" v));
+    ignore (Vocab.intern vocab (Printf.sprintf "f%d" v))
+  done;
+  let t v = 2 * v and f v = (2 * v) + 1 in
+  let choice =
+    List.concat_map
+      (fun v ->
+        [
+          Clause.make ~head:[ t v ] ~pos:[] ~neg:[ f v ];
+          Clause.make ~head:[ f v ] ~pos:[] ~neg:[ t v ];
+        ])
+      (List.init num_vars Fun.id)
+  in
+  let comp = function Lit.Pos v -> f v | Lit.Neg v -> t v in
+  let kill =
+    List.map
+      (fun clause -> Clause.integrity ~pos:(List.map comp clause) ~neg:[])
+      clauses
+  in
+  Db.make ~vocab (choice @ kill)
+
+(* coNP-hardness of (positive-)literal inference under DDR and PWS in the
+   presence of integrity clauses (Chan's Table 2 cells).  Given a CNF ψ over
+   variables 0..n-1, build the DDDB
+
+     t_v | f_v.        :- t_v, f_v.           (exact assignments)
+     w :- comp(l1), ..., comp(lk).            (w fires when a clause fails)
+
+   Models resp. possible models without w correspond to satisfying
+   assignments, and w occurs in T↑ω (so the DDR never closes it):
+
+     DDR(DB) ⊨ w  iff  PWS(DB) ⊨ w  iff  ψ is unsatisfiable. *)
+let unsat_to_weak_literal ~num_vars clauses =
+  let vocab = Vocab.create ~capacity:((2 * num_vars) + 1) () in
+  for v = 0 to num_vars - 1 do
+    ignore (Vocab.intern vocab (Printf.sprintf "t%d" v));
+    ignore (Vocab.intern vocab (Printf.sprintf "f%d" v))
+  done;
+  let w = Vocab.intern vocab "w" in
+  let t v = 2 * v and f v = (2 * v) + 1 in
+  let pairs =
+    List.concat_map
+      (fun v ->
+        [
+          Clause.fact [ t v; f v ];
+          Clause.integrity ~pos:[ t v; f v ] ~neg:[];
+        ])
+      (List.init num_vars Fun.id)
+  in
+  let comp = function Lit.Pos v -> f v | Lit.Neg v -> t v in
+  let fire =
+    List.map
+      (fun clause -> Clause.make ~head:[ w ] ~pos:(List.map comp clause) ~neg:[])
+      clauses
+  in
+  (Db.make ~vocab (pairs @ fire), w)

@@ -1,0 +1,36 @@
+open Ddb_logic
+open Ddb_db
+open Ddb_qbf
+
+(** The paper's hardness reductions as executable instance transformations
+    (each answer-preservation-tested against independent solvers). *)
+
+val qbf_to_gcwa : Qbf.t -> Db.t * int
+(** ∃∀-QBF ↦ positive DDB + witness atom w: the QBF is valid iff some
+    minimal model contains w, i.e. iff GCWA(DB) ⊭ ¬w.  Witnesses Π₂ᵖ
+    hardness of literal inference for every minimal-model semantics of
+    Table 1.  @raise Invalid_argument on a ∀∃ prefix. *)
+
+val qbf_to_dsm_exists : Qbf.t -> Db.t
+(** ∃∀-QBF ↦ DNDB (no integrity clauses) with a disjunctive stable model
+    iff the QBF is valid: Σ₂ᵖ hardness of DSM existence. *)
+
+val sat_to_egcwa_exists : num_vars:int -> Lit.t list list -> Db.t
+(** CNF ↦ clause-form database: satisfiable iff EGCWA(DB) ≠ ∅ (Table 2's
+    NP-complete existence cell). *)
+
+val sat_to_nlp_stable : num_vars:int -> Lit.t list list -> Db.t
+(** CNF ↦ normal program with a stable model iff satisfiable, bijectively
+    (Marek–Truszczyński / Bidoit–Froidevaux NP-completeness). *)
+
+val unsat_to_weak_literal : num_vars:int -> Lit.t list list -> Db.t * int
+(** CNF ↦ DDDB-with-integrity + witness atom w with
+    DDR(DB) ⊨ w iff PWS(DB) ⊨ w iff the CNF is unsatisfiable (Chan's
+    coNP-hard Table 2 literal cells). *)
+
+val has_unique_minimal_model : Db.t -> bool
+(** UMINSAT (Prop. 5.4): exactly one minimal model? *)
+
+val gcwa_image_answer : Db.t -> int -> bool
+(** "some minimal model contains w" — reference answer for reduction
+    tests. *)

@@ -1,0 +1,28 @@
+(* Name → packed semantics, for the CLI, examples and benches.
+
+   The partition-parametric semantics (CCWA, ECWA, ICWA) appear with their
+   canonical total partition ⟨V;∅;∅⟩; use their modules directly for custom
+   partitions. *)
+
+let all : Semantics.t list =
+  [
+    Cwa.semantics;
+    Gcwa.semantics;
+    Ddr.semantics;
+    Pws.semantics;
+    Egcwa.semantics;
+    Ccwa.semantics;
+    Ecwa.semantics;
+    Circ.semantics;
+    Icwa.semantics;
+    Perf.semantics;
+    Dsm.semantics;
+    Pdsm.semantics;
+  ]
+
+let find name =
+  List.find_opt
+    (fun (s : Semantics.t) -> String.equal s.Semantics.name name)
+    all
+
+let names = List.map (fun (s : Semantics.t) -> s.Semantics.name) all

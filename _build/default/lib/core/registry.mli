@@ -1,0 +1,6 @@
+(** Name → packed semantics (partition-parametric ones appear with the
+    total partition ⟨V;∅;∅⟩). *)
+
+val all : Semantics.t list
+val find : string -> Semantics.t option
+val names : string list

@@ -1,0 +1,41 @@
+open Ddb_logic
+open Ddb_db
+
+(* The uniform face of a disjunctive database semantics, as studied by the
+   paper: a (possibly empty) set of intended models inducing the three
+   decision problems — literal inference, formula inference, model
+   existence.
+
+   Every semantics module provides two engines:
+     - the *oracle engine* (the default): realizes the paper's upper-bound
+       algorithm by SAT / minimality-oracle calls;
+     - the *reference engine*: explicit model enumeration over 2^V (or 3^V),
+       used as ground truth on small universes by the tests and the
+       engine-ablation bench. *)
+
+type t = {
+  name : string;
+  long_name : string;
+  (* Which databases the semantics is defined for (e.g. DDR needs a DDDB,
+     ICWA a stratified database). *)
+  applicable : Db.t -> bool;
+  has_model : Db.t -> bool;
+  infer_formula : Db.t -> Formula.t -> bool;
+  infer_literal : Db.t -> Lit.t -> bool;
+  reference_models : Db.t -> Interp.t list;
+}
+
+let formula_of_lit = Formula.of_lit
+
+(* Default literal inference: formula inference on a literal. *)
+let lift_literal infer_formula db l = infer_formula db (formula_of_lit l)
+
+(* Reference-engine inference: truth in every explicitly enumerated model. *)
+let reference_infer models db f =
+  List.for_all (fun m -> Formula.eval m f) (models db)
+
+let reference_has_model models db = models db <> []
+
+(* Pad the database universe so that query atoms beyond it are legal. *)
+let for_query db f =
+  Db.with_universe db (max (Db.num_vars db) (Formula.max_atom f + 1))

@@ -1,0 +1,24 @@
+open Ddb_logic
+open Ddb_db
+
+(** WFS — the well-founded semantics (van Gelder, Ross & Schlipf) for
+    normal programs, by the alternating fixpoint.  Polynomial: the
+    tractable non-disjunctive baseline underneath PDSM.
+
+    All entry points @raise Invalid_argument on disjunctive heads or
+    integrity clauses. *)
+
+type t = Three_valued.t
+
+val compute : Db.t -> t
+val gamma : Db.t -> Interp.t -> Interp.t
+(** Γ(I): least model of the reduct P^I. *)
+
+val true_atoms : Db.t -> Interp.t
+val false_atoms : Db.t -> Interp.t
+val is_total : Db.t -> bool
+val infer_formula : Db.t -> Formula.t -> bool
+val infer_literal : Db.t -> Lit.t -> bool
+
+val knowledge_le : Three_valued.t -> Three_valued.t -> bool
+(** I ≤k J: both the true and the false sets grow. *)

@@ -1,0 +1,1 @@
+lib/ddb/db.ml: Clause Ddb_logic Ddb_sat Fmt Fun Interp List Minimal Parse Solver Vocab

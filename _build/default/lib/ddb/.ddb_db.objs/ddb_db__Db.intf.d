@@ -1,0 +1,1 @@
+lib/ddb/db.mli: Clause Ddb_logic Ddb_sat Format Interp Lit Minimal Solver Vocab

@@ -1,0 +1,1 @@
+lib/ddb/models.ml: Cnf Db Ddb_logic Ddb_sat Enum Formula Interp List Minimal Partition Solver

@@ -1,0 +1,1 @@
+lib/ddb/models.mli: Db Ddb_logic Formula Interp Partition

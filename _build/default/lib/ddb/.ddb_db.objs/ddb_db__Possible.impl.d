@@ -1,0 +1,1 @@
+lib/ddb/possible.ml: Clause Db Ddb_logic Ddb_sat Enum Horn Interp List

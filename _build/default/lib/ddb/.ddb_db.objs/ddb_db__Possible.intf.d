@@ -1,0 +1,1 @@
+lib/ddb/possible.mli: Db Ddb_logic Ddb_sat Horn Interp

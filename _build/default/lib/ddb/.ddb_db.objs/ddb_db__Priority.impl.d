@@ -1,0 +1,1 @@
+lib/ddb/priority.ml: Array Clause Db Ddb_logic Ddb_sat Interp List Lit Models Option Queue Solver

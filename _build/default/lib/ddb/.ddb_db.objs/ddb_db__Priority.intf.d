@@ -1,0 +1,1 @@
+lib/ddb/priority.mli: Db Ddb_logic Ddb_sat Interp Solver

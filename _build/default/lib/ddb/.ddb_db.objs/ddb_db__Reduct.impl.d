@@ -1,0 +1,1 @@
+lib/ddb/reduct.ml: Clause Db Ddb_logic List Three_valued

@@ -1,0 +1,1 @@
+lib/ddb/reduct.mli: Db Ddb_logic Interp Three_valued

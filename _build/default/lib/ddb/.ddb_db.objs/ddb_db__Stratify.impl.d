@@ -1,0 +1,1 @@
+lib/ddb/stratify.ml: Array Clause Db Ddb_logic Fmt Hashtbl Int Interp List Option

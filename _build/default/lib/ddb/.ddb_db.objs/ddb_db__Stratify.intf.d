@@ -1,0 +1,1 @@
+lib/ddb/stratify.mli: Clause Db Ddb_logic Format Interp Vocab

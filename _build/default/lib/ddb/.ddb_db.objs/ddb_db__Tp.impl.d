@@ -1,0 +1,1 @@
+lib/ddb/tp.ml: Array Clause Db Ddb_logic Interp List

@@ -1,0 +1,1 @@
+lib/ddb/tp.mli: Db Ddb_logic Interp

@@ -1,0 +1,27 @@
+open Ddb_logic
+
+(** Model-theoretic primitives: M(DB), MM(DB), MM(DB;P;Z), classical and
+    minimal-model entailment.  SAT-backed engines plus brute-force
+    references for small universes. *)
+
+val is_model : Db.t -> Interp.t -> bool
+val has_model : Db.t -> bool
+val some_model : Db.t -> Interp.t option
+val all_models : ?limit:int -> Db.t -> Interp.t list
+val minimal_models : ?limit:int -> Db.t -> Interp.t list
+val is_minimal_model : ?part:Partition.t -> Db.t -> Interp.t -> bool
+val some_minimal_model : ?part:Partition.t -> Db.t -> Interp.t option
+
+val minimal_section_models :
+  ?limit:int -> Db.t -> Partition.t -> Interp.t list
+(** One representative (P;Z)-minimal model per (P,Q)-section. *)
+
+val minimal_entails : ?part:Partition.t -> Db.t -> Formula.t -> bool
+(** MM(DB;P;Z) ⊨ F by counterexample guess-and-check (default: total
+    partition, i.e. EGCWA entailment). *)
+
+val entails : Db.t -> Formula.t -> bool
+(** Classical DB ⊨ F: one SAT call. *)
+
+val brute_models : Db.t -> Interp.t list
+val brute_minimal_models : ?part:Partition.t -> Db.t -> Interp.t list

@@ -1,0 +1,22 @@
+open Ddb_logic
+
+(* Reducts for the stable-model semantics.
+
+   Two-valued (Gelfond–Lifschitz, as used by Przymusinski's disjunctive
+   stable models): DB^M drops every clause with some ¬c, c ∈ M, and erases
+   the remaining negative literals; the result is a positive database.
+
+   Three-valued (partial disjunctive stable models): each ¬c is replaced by
+   the *constant* 1 − I(c); a rule becomes a positive rule with a truth-value
+   floor (see {!Ddb_logic.Three_valued.reduced_rule}). *)
+
+let gl db m =
+  let clauses = List.filter_map (Clause.reduce m) (Db.clauses db) in
+  Db.with_universe (Db.make ~vocab:(Db.vocab db) clauses) (Db.num_vars db)
+
+let three_valued db i =
+  List.map (Three_valued.reduce_clause i) (Db.clauses db)
+
+(* Satisfaction of the 3-valued reduct by a 3-valued interpretation. *)
+let satisfies_three_valued j rules =
+  List.for_all (Three_valued.satisfies_reduced j) rules

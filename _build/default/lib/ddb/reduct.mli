@@ -1,0 +1,12 @@
+open Ddb_logic
+
+(** Reducts for the stable-model semantics. *)
+
+val gl : Db.t -> Interp.t -> Db.t
+(** Gelfond–Lifschitz reduct DB^M (always a positive database). *)
+
+val three_valued : Db.t -> Three_valued.t -> Three_valued.reduced_rule list
+(** 3-valued reduct: ¬c replaced by the constant 1 − I(c). *)
+
+val satisfies_three_valued :
+  Three_valued.t -> Three_valued.reduced_rule list -> bool

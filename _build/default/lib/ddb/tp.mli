@@ -1,0 +1,23 @@
+open Ddb_logic
+
+(** The DDR consequence operator T_DB on states (sets of positive
+    disjunctions) and its fixpoint T↑ω, for DDDBs.
+
+    @raise Invalid_argument from every entry point if the database contains
+    negation. *)
+
+val occurrence_closure : Db.t -> Interp.t
+(** Atoms occurring in T↑ω, in polynomial time (the tractable core of
+    DDR/WGCWA literal inference). *)
+
+val fixpoint : ?max_states:int -> Db.t -> Interp.Set.t
+(** The explicit state fixpoint, without subsumption (reference engine;
+    exponential in the worst case — guarded by [max_states]). *)
+
+val occurring_in_fixpoint : Db.t -> Interp.t
+(** Union of the explicit fixpoint's disjunctions (tested equal to
+    [occurrence_closure]). *)
+
+val minimal_state : Db.t -> Interp.Set.t
+(** Subsumption-minimal derivable disjunctions — for consistent DDDBs these
+    are the minimal positive clauses entailed (Minker). *)

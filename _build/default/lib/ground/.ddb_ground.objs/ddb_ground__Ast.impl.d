@@ -1,0 +1,1 @@
+lib/ground/ast.ml: Fmt List String

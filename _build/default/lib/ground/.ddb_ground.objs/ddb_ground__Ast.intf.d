@@ -1,0 +1,1 @@
+lib/ground/ast.mli: Format

@@ -1,0 +1,1 @@
+lib/ground/grounder.ml: Ast Clause Ddb_db Ddb_logic Fmt Hashtbl Interp List Parse Printf String Vocab

@@ -1,0 +1,1 @@
+lib/ground/grounder.mli: Ast Ddb_db Ddb_logic Interp Vocab

@@ -1,0 +1,1 @@
+lib/ground/parse.ml: Ast Fmt List Printf String

@@ -1,0 +1,1 @@
+lib/ground/parse.mli: Ast

@@ -1,0 +1,191 @@
+(* Parser for non-ground disjunctive Datalog.
+
+   Same surface syntax as the propositional format, with predicate
+   arguments:
+
+     edge(a, b).
+     reach(Y) | blocked(Y) :- reach(X), edge(X, Y), not closed(Y).
+     :- p(X), q(X).
+
+   Identifiers starting with an uppercase letter (or '_') are variables;
+   everything else is a constant or predicate name. *)
+
+exception Error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+type token =
+  | IDENT of string (* lowercase-initial *)
+  | VARIDENT of string (* uppercase-initial *)
+  | KW_NOT
+  | PIPE
+  | COMMA
+  | DOT
+  | IF
+  | LPAREN
+  | RPAREN
+  | EOF
+
+let token_to_string = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | VARIDENT s -> Printf.sprintf "variable %S" s
+  | KW_NOT -> "'not'"
+  | PIPE -> "'|'"
+  | COMMA -> "','"
+  | DOT -> "'.'"
+  | IF -> "':-'"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | EOF -> "end of input"
+
+let is_letter c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_letter c || (c >= '0' && c <= '9') || c = '\''
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let emit t = toks := t :: !toks in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '%' then
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    else if is_letter c || (c >= '0' && c <= '9') then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        incr i
+      done;
+      let word = String.sub src start (!i - start) in
+      if word = "not" then emit KW_NOT
+      else if (word.[0] >= 'A' && word.[0] <= 'Z') || word.[0] = '_' then
+        emit (VARIDENT word)
+      else emit (IDENT word)
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub src !i 2 else "" in
+      if two = ":-" then begin
+        emit IF;
+        i := !i + 2
+      end
+      else begin
+        (match c with
+        | '|' | ';' -> emit PIPE
+        | ',' -> emit COMMA
+        | '.' -> emit DOT
+        | '(' -> emit LPAREN
+        | ')' -> emit RPAREN
+        | _ -> error "unexpected character %C" c);
+        incr i
+      end
+    end
+  done;
+  emit EOF;
+  List.rev !toks
+
+type stream = { mutable toks : token list }
+
+let peek s = match s.toks with [] -> EOF | t :: _ -> t
+let advance s = match s.toks with [] -> () | _ :: rest -> s.toks <- rest
+
+let expect s t =
+  let got = peek s in
+  if got = t then advance s
+  else error "expected %s but found %s" (token_to_string t) (token_to_string got)
+
+let parse_term s =
+  match peek s with
+  | IDENT c ->
+    advance s;
+    Ast.Const c
+  | VARIDENT v ->
+    advance s;
+    Ast.Var v
+  | t -> error "expected a term but found %s" (token_to_string t)
+
+let parse_atom s =
+  match peek s with
+  | IDENT pred ->
+    advance s;
+    let args =
+      match peek s with
+      | LPAREN ->
+        advance s;
+        let rec more acc =
+          let acc = parse_term s :: acc in
+          match peek s with
+          | COMMA ->
+            advance s;
+            more acc
+          | _ ->
+            expect s RPAREN;
+            List.rev acc
+        in
+        more []
+      | _ -> []
+    in
+    Ast.atom pred args
+  | t -> error "expected a predicate but found %s" (token_to_string t)
+
+let parse_head s =
+  match peek s with
+  | IF | DOT -> []
+  | _ ->
+    let rec more acc =
+      match peek s with
+      | PIPE ->
+        advance s;
+        more (parse_atom s :: acc)
+      | _ -> List.rev acc
+    in
+    more [ parse_atom s ]
+
+let parse_body s =
+  let rec more pos neg =
+    let pos, neg =
+      match peek s with
+      | KW_NOT ->
+        advance s;
+        (pos, parse_atom s :: neg)
+      | _ -> (parse_atom s :: pos, neg)
+    in
+    match peek s with
+    | COMMA ->
+      advance s;
+      more pos neg
+    | _ -> (List.rev pos, List.rev neg)
+  in
+  more [] []
+
+let parse_rule s =
+  let head = parse_head s in
+  let pos, neg =
+    match peek s with
+    | IF ->
+      advance s;
+      parse_body s
+    | _ -> ([], [])
+  in
+  expect s DOT;
+  if head = [] && pos = [] && neg = [] then error "empty rule";
+  { Ast.head; pos; neg }
+
+let program src =
+  let s = { toks = tokenize src } in
+  let rec go acc =
+    match peek s with
+    | EOF -> List.rev acc
+    | _ -> go (parse_rule s :: acc)
+  in
+  go []
+
+let program_of_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  program src

@@ -1,0 +1,9 @@
+(** Parser for non-ground disjunctive Datalog (uppercase-initial
+    identifiers are variables). *)
+
+exception Error of string
+
+val program : string -> Ast.program
+(** @raise Error on malformed input. *)
+
+val program_of_file : string -> Ast.program

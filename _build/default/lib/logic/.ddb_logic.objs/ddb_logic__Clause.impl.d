@@ -1,0 +1,1 @@
+lib/logic/clause.ml: Fmt Int Interp List Lit Stdlib Vocab

@@ -1,0 +1,1 @@
+lib/logic/dimacs.ml: Fmt List Lit Printf String

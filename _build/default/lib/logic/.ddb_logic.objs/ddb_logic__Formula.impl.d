@@ -1,0 +1,1 @@
+lib/logic/formula.ml: Fmt Int Interp List Lit Stdlib Vocab

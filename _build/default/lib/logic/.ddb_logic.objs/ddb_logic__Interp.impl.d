@@ -1,0 +1,1 @@
+lib/logic/interp.ml: Array Fmt Hashtbl Int List Set Sys Vocab

@@ -1,0 +1,1 @@
+lib/logic/interp.mli: Format Set Vocab

@@ -1,0 +1,1 @@
+lib/logic/lit.ml: Fmt Interp Stdlib Vocab

@@ -1,0 +1,1 @@
+lib/logic/parse.ml: Buffer Clause Fmt Formula List Lit Printf String Vocab

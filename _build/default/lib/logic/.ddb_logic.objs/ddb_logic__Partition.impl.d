@@ -1,0 +1,1 @@
+lib/logic/partition.ml: Fmt Interp

@@ -1,0 +1,1 @@
+lib/logic/partition.mli: Format Interp Vocab

@@ -1,0 +1,1 @@
+lib/logic/three_valued.ml: Clause Fmt Formula Int Interp List Vocab

@@ -1,0 +1,1 @@
+lib/logic/three_valued.mli: Clause Format Formula Interp Vocab

@@ -1,0 +1,1 @@
+lib/logic/vocab.ml: Array Fmt Hashtbl List Printf

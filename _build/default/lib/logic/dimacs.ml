@@ -1,0 +1,63 @@
+(* DIMACS CNF import/export.  DIMACS variables 1..n map to atom ids 0..n-1.
+   Used by tests (cross-checking the SAT solver on standard instances) and by
+   the workload generators' debug dumps. *)
+
+exception Error of string
+
+type t = { num_vars : int; clauses : Lit.t list list }
+
+let of_clauses ~num_vars clauses = { num_vars; clauses }
+
+let num_vars t = t.num_vars
+let clauses t = t.clauses
+
+let lit_of_int k =
+  if k > 0 then Lit.Pos (k - 1)
+  else if k < 0 then Lit.Neg (-k - 1)
+  else raise (Error "literal 0 inside a clause")
+
+let int_of_lit = function Lit.Pos x -> x + 1 | Lit.Neg x -> -(x + 1)
+
+let parse src =
+  let lines = String.split_on_char '\n' src in
+  let num_vars = ref (-1) in
+  let clauses = ref [] in
+  let current = ref [] in
+  let handle_word w =
+    match int_of_string_opt w with
+    | None -> raise (Error (Printf.sprintf "bad token %S" w))
+    | Some 0 ->
+      clauses := List.rev !current :: !clauses;
+      current := []
+    | Some k -> current := lit_of_int k :: !current
+  in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if line = "" || line.[0] = 'c' then ()
+      else if line.[0] = 'p' then begin
+        match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+        | [ "p"; "cnf"; nv; _nc ] -> (
+          match int_of_string_opt nv with
+          | Some n -> num_vars := n
+          | None -> raise (Error "bad p-line"))
+        | _ -> raise (Error "bad p-line")
+      end
+      else
+        String.split_on_char ' ' line
+        |> List.filter (( <> ) "")
+        |> List.iter handle_word)
+    lines;
+  if !current <> [] then raise (Error "clause not terminated by 0");
+  if !num_vars < 0 then raise (Error "missing p-line");
+  { num_vars = !num_vars; clauses = List.rev !clauses }
+
+let print ppf t =
+  Fmt.pf ppf "p cnf %d %d@." t.num_vars (List.length t.clauses);
+  List.iter
+    (fun clause ->
+      List.iter (fun l -> Fmt.pf ppf "%d " (int_of_lit l)) clause;
+      Fmt.pf ppf "0@.")
+    t.clauses
+
+let to_string t = Fmt.str "%a" print t

@@ -1,0 +1,15 @@
+(** DIMACS CNF import/export (DIMACS variable k ↔ atom id k-1). *)
+
+exception Error of string
+
+type t
+
+val of_clauses : num_vars:int -> Lit.t list list -> t
+val num_vars : t -> int
+val clauses : t -> Lit.t list list
+
+val parse : string -> t
+(** @raise Error on malformed input. *)
+
+val print : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,302 @@
+(* Hand-written lexer and recursive-descent parsers for the textual formats.
+
+   Program syntax (one clause per '.', '%' comments to end of line):
+
+     a | b :- c, not d.        disjunctive rule
+     :- a, b.                  integrity clause
+     c.                        fact
+     a | b.                    disjunctive fact
+
+   Query (formula) syntax, loosest to tightest precedence:
+
+     f <-> g   |   f -> g   |   f | g   |   f & g   |   ~f   |   atom, true,
+     false, ( f )
+
+   Atom names: [A-Za-z_][A-Za-z0-9_']*, excluding the keywords
+   not / true / false. *)
+
+exception Error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+type token =
+  | IDENT of string
+  | KW_NOT
+  | KW_TRUE
+  | KW_FALSE
+  | PIPE
+  | AMP
+  | COMMA
+  | DOT
+  | TILDE
+  | ARROW (* -> *)
+  | DARROW (* <-> *)
+  | IF (* :- *)
+  | LPAREN
+  | RPAREN
+  | EOF
+
+let token_to_string = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | KW_NOT -> "'not'"
+  | KW_TRUE -> "'true'"
+  | KW_FALSE -> "'false'"
+  | PIPE -> "'|'"
+  | AMP -> "'&'"
+  | COMMA -> "','"
+  | DOT -> "'.'"
+  | TILDE -> "'~'"
+  | ARROW -> "'->'"
+  | DARROW -> "'<->'"
+  | IF -> "':-'"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | EOF -> "end of input"
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c =
+  is_ident_start c || (c >= '0' && c <= '9') || c = '\''
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let emit t = toks := t :: !toks in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '%' then begin
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        incr i
+      done;
+      match String.sub src start (!i - start) with
+      | "not" -> emit KW_NOT
+      | "true" -> emit KW_TRUE
+      | "false" -> emit KW_FALSE
+      | word ->
+        (* Ground Datalog atoms — "win(b)", "edge(a,b)" — are single
+           propositional atoms (as produced by Ddb_ground.Grounder); fold
+           an immediately following argument list into the name. *)
+        if !i < n && src.[!i] = '(' then begin
+          let j = ref (!i + 1) in
+          let buf = Buffer.create 16 in
+          Buffer.add_string buf word;
+          Buffer.add_char buf '(';
+          let ok = ref true in
+          let expect_ident () =
+            let s = !j in
+            while !j < n && is_ident_char src.[!j] do
+              incr j
+            done;
+            if !j > s then Buffer.add_string buf (String.sub src s (!j - s))
+            else ok := false
+          in
+          expect_ident ();
+          while !ok && !j < n && src.[!j] = ',' do
+            Buffer.add_char buf ',';
+            incr j;
+            while !j < n && src.[!j] = ' ' do
+              incr j
+            done;
+            expect_ident ()
+          done;
+          if !ok && !j < n && src.[!j] = ')' then begin
+            Buffer.add_char buf ')';
+            i := !j + 1;
+            emit (IDENT (Buffer.contents buf))
+          end
+          else error "malformed ground atom after %S" word
+        end
+        else emit (IDENT word)
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub src !i 2 else "" in
+      let three = if !i + 2 < n then String.sub src !i 3 else "" in
+      if three = "<->" then begin
+        emit DARROW;
+        i := !i + 3
+      end
+      else if two = "->" then begin
+        emit ARROW;
+        i := !i + 2
+      end
+      else if two = ":-" then begin
+        emit IF;
+        i := !i + 2
+      end
+      else begin
+        (match c with
+        | '|' | ';' -> emit PIPE
+        | '&' | '^' -> emit AMP
+        | ',' -> emit COMMA
+        | '.' -> emit DOT
+        | '~' | '!' -> emit TILDE
+        | '(' -> emit LPAREN
+        | ')' -> emit RPAREN
+        | _ -> error "unexpected character %C" c);
+        incr i
+      end
+    end
+  done;
+  emit EOF;
+  List.rev !toks
+
+type stream = { mutable toks : token list }
+
+let peek s = match s.toks with [] -> EOF | t :: _ -> t
+
+let advance s = match s.toks with [] -> () | _ :: rest -> s.toks <- rest
+
+let expect s t =
+  let got = peek s in
+  if got = t then advance s
+  else error "expected %s but found %s" (token_to_string t) (token_to_string got)
+
+let ident s =
+  match peek s with
+  | IDENT name ->
+    advance s;
+    name
+  | t -> error "expected an atom name but found %s" (token_to_string t)
+
+(* --- programs --- *)
+
+let parse_head vocab s =
+  (* Possibly-empty '|'-separated atom list before ':-' or '.'. *)
+  match peek s with
+  | IF | DOT -> []
+  | _ ->
+    let rec more acc =
+      match peek s with
+      | PIPE ->
+        advance s;
+        more (Vocab.intern vocab (ident s) :: acc)
+      | _ -> List.rev acc
+    in
+    more [ Vocab.intern vocab (ident s) ]
+
+let parse_body vocab s =
+  let rec more pos neg =
+    let pos, neg =
+      match peek s with
+      | KW_NOT | TILDE ->
+        advance s;
+        (pos, Vocab.intern vocab (ident s) :: neg)
+      | _ -> (Vocab.intern vocab (ident s) :: pos, neg)
+    in
+    match peek s with
+    | COMMA ->
+      advance s;
+      more pos neg
+    | _ -> (List.rev pos, List.rev neg)
+  in
+  more [] []
+
+let parse_clause vocab s =
+  let head = parse_head vocab s in
+  let pos, neg =
+    match peek s with
+    | IF ->
+      advance s;
+      parse_body vocab s
+    | _ -> ([], [])
+  in
+  expect s DOT;
+  if head = [] && pos = [] && neg = [] then
+    error "clause with empty head and empty body";
+  Clause.make ~head ~pos ~neg
+
+let program vocab src =
+  let s = { toks = tokenize src } in
+  let rec go acc =
+    match peek s with
+    | EOF -> List.rev acc
+    | _ -> go (parse_clause vocab s :: acc)
+  in
+  go []
+
+let program_of_file vocab path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  program vocab src
+
+(* --- formulas --- *)
+
+let rec parse_iff vocab s =
+  let lhs = parse_imp vocab s in
+  match peek s with
+  | DARROW ->
+    advance s;
+    Formula.Iff (lhs, parse_iff vocab s)
+  | _ -> lhs
+
+and parse_imp vocab s =
+  let lhs = parse_or vocab s in
+  match peek s with
+  | ARROW ->
+    advance s;
+    Formula.Imp (lhs, parse_imp vocab s)
+  | _ -> lhs
+
+and parse_or vocab s =
+  let rec more lhs =
+    match peek s with
+    | PIPE ->
+      advance s;
+      more (Formula.Or (lhs, parse_and vocab s))
+    | _ -> lhs
+  in
+  more (parse_and vocab s)
+
+and parse_and vocab s =
+  let rec more lhs =
+    match peek s with
+    | AMP | COMMA ->
+      advance s;
+      more (Formula.And (lhs, parse_unary vocab s))
+    | _ -> lhs
+  in
+  more (parse_unary vocab s)
+
+and parse_unary vocab s =
+  match peek s with
+  | TILDE | KW_NOT ->
+    advance s;
+    Formula.Not (parse_unary vocab s)
+  | KW_TRUE ->
+    advance s;
+    Formula.True
+  | KW_FALSE ->
+    advance s;
+    Formula.False
+  | LPAREN ->
+    advance s;
+    let f = parse_iff vocab s in
+    expect s RPAREN;
+    f
+  | IDENT name ->
+    advance s;
+    Formula.Atom (Vocab.intern vocab name)
+  | t -> error "expected a formula but found %s" (token_to_string t)
+
+let formula vocab src =
+  let s = { toks = tokenize src } in
+  let f = parse_iff vocab s in
+  expect s EOF;
+  f
+
+let literal vocab src =
+  match formula vocab src with
+  | Formula.Atom x -> Lit.Pos x
+  | Formula.Not (Formula.Atom x) -> Lit.Neg x
+  | _ -> error "expected a literal (atom or ~atom)"

@@ -1,0 +1,24 @@
+(** Parsers for the textual clause and query formats.
+
+    Program syntax: one clause per ['.'], e.g. [a | b :- c, not d.]; [':-']
+    introduces the body; ['%'] comments to end of line.  Query syntax:
+    formulas over [~ & | -> <->], [true], [false], parentheses.
+
+    A name immediately followed by a parenthesized ident list — [win(b)],
+    [edge(a,b)] — is folded into a single atom name, so queries can refer to
+    the ground atoms produced by {!Ddb_ground.Grounder}.
+
+    All atom names are interned into the given vocabulary. *)
+
+exception Error of string
+
+val program : Vocab.t -> string -> Clause.t list
+(** Parse a whole program.  @raise Error on malformed input. *)
+
+val program_of_file : Vocab.t -> string -> Clause.t list
+
+val formula : Vocab.t -> string -> Formula.t
+(** Parse a query formula.  @raise Error on malformed input. *)
+
+val literal : Vocab.t -> string -> Lit.t
+(** Parse [atom] or [~atom].  @raise Error otherwise. *)

@@ -1,0 +1,1 @@
+lib/qbf/cegar.ml: Ddb_logic Ddb_sat Formula Hashtbl Interp List Lit Qbf Solver Stats

@@ -1,0 +1,1 @@
+lib/qbf/cegar.mli: Ddb_logic Formula Qbf

@@ -1,0 +1,1 @@
+lib/qbf/naive.ml: Ddb_logic Formula Interp List Qbf

@@ -1,0 +1,1 @@
+lib/qbf/naive.mli: Qbf

@@ -1,0 +1,1 @@
+lib/qbf/qbf.ml: Ddb_logic Fmt Formula Int List Vocab

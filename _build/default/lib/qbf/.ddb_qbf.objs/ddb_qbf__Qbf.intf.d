@@ -1,0 +1,1 @@
+lib/qbf/qbf.mli: Ddb_logic Format Formula Vocab

@@ -1,0 +1,76 @@
+open Ddb_logic
+open Ddb_sat
+
+(* Counterexample-guided 2-QBF solver on top of the CDCL SAT solver.
+
+   For exists-X forall-Y phi:
+     - the abstraction solver holds, over X plus fresh copies of auxiliary
+       variables, the constraints phi[Y := sigma_Y] for every counterexample
+       sigma_Y found so far;
+     - each round proposes sigma_X from the abstraction and asks a second
+       solver for sigma_Y with phi false under sigma_X; UNSAT certifies
+       validity, otherwise sigma_Y refines the abstraction.
+
+   forall-X exists-Y phi is solved as the negation of an exists-forall
+   instance.  Every call bumps [Stats.sigma2_calls]: this function *is* the
+   Sigma-2 oracle of the complexity harness. *)
+
+exception Too_many_rounds
+
+let substitute_block m block matrix =
+  (* Replace the atoms of [block] by their truth value under [m]. *)
+  let in_block = Hashtbl.create 16 in
+  List.iter (fun v -> Hashtbl.replace in_block v ()) block;
+  Formula.map_atoms
+    (fun x ->
+      if Hashtbl.mem in_block x then
+        if Interp.mem m x then Formula.True else Formula.False
+      else Formula.Atom x)
+    matrix
+
+let valid_exists_forall ?(max_rounds = max_int) ~num_vars ~xs ~ys matrix =
+  (* Abstraction over xs (plus Tseitin auxiliaries allocated past all
+     original variables). *)
+  let abstraction = Solver.create ~num_vars () in
+  Solver.ensure_vars abstraction num_vars;
+  let next_aux = ref num_vars in
+  let add_constraint f = next_aux := Solver.add_formula abstraction ~next_var:!next_aux f in
+  (* The check solver is rebuilt each round: it must contain ¬phi with the
+     X-section pinned, and pinning via assumptions lets us reuse one
+     instance. *)
+  let check_solver = Solver.create ~num_vars () in
+  Solver.ensure_vars check_solver num_vars;
+  let check_aux = Solver.add_formula check_solver ~next_var:num_vars (Formula.not_ matrix) in
+  ignore check_aux;
+  let rec loop round =
+    if round >= max_rounds then raise Too_many_rounds;
+    match Solver.solve abstraction with
+    | Solver.Unsat -> false (* no candidate X-assignment survives *)
+    | Solver.Sat ->
+      let sigma_x = Solver.model ~universe:num_vars abstraction in
+      let pin =
+        List.map
+          (fun x -> if Interp.mem sigma_x x then Lit.Pos x else Lit.Neg x)
+          xs
+      in
+      (match Solver.solve ~assumptions:pin check_solver with
+      | Solver.Unsat -> true (* forall Y phi holds under sigma_x *)
+      | Solver.Sat ->
+        let sigma_y = Solver.model ~universe:num_vars check_solver in
+        (* Refine: phi must hold for this Y-counterexample. *)
+        add_constraint (substitute_block sigma_y ys matrix);
+        loop (round + 1))
+  in
+  incr Stats.sigma2_calls;
+  loop 0
+
+let valid ?max_rounds t =
+  match t.Qbf.prefix with
+  | Qbf.Exists_forall ->
+    valid_exists_forall ?max_rounds ~num_vars:t.Qbf.num_vars ~xs:t.Qbf.block1
+      ~ys:t.Qbf.block2 t.Qbf.matrix
+  | Qbf.Forall_exists ->
+    not
+      (valid_exists_forall ?max_rounds ~num_vars:t.Qbf.num_vars
+         ~xs:t.Qbf.block1 ~ys:t.Qbf.block2
+         (Formula.not_ t.Qbf.matrix))

@@ -1,0 +1,19 @@
+open Ddb_logic
+
+(** CEGAR 2-QBF solver on top of the CDCL SAT solver — the realization of
+    the Σ₂ᵖ oracle.  Every validity query bumps
+    [Ddb_sat.Stats.sigma2_calls]. *)
+
+exception Too_many_rounds
+
+val valid_exists_forall :
+  ?max_rounds:int ->
+  num_vars:int ->
+  xs:int list ->
+  ys:int list ->
+  Formula.t ->
+  bool
+(** Validity of ∃xs ∀ys φ.  @raise Too_many_rounds past [max_rounds]
+    refinements (default: unbounded). *)
+
+val valid : ?max_rounds:int -> Qbf.t -> bool

@@ -1,0 +1,26 @@
+open Ddb_logic
+
+(* Truth-table 2-QBF evaluation: the reference the CEGAR solver is tested
+   against.  Exponential in |block1| + |block2|. *)
+
+let rec assignments universe = function
+  | [] -> [ universe ]
+  | v :: rest ->
+    let tails = assignments universe rest in
+    tails @ List.map (fun m -> Interp.add m v) tails
+
+let valid t =
+  let n = t.Qbf.num_vars in
+  let base = Interp.empty n in
+  let outer = assignments base t.Qbf.block1 in
+  let holds_for sigma1 =
+    let inner = assignments sigma1 t.Qbf.block2 in
+    match t.Qbf.prefix with
+    | Qbf.Exists_forall ->
+      List.for_all (fun m -> Formula.eval m t.Qbf.matrix) inner
+    | Qbf.Forall_exists ->
+      List.exists (fun m -> Formula.eval m t.Qbf.matrix) inner
+  in
+  match t.Qbf.prefix with
+  | Qbf.Exists_forall -> List.exists holds_for outer
+  | Qbf.Forall_exists -> List.for_all holds_for outer

@@ -1,0 +1,4 @@
+(** Truth-table 2-QBF evaluation — the reference the CEGAR solver is tested
+    against (exponential; small blocks only). *)
+
+val valid : Qbf.t -> bool

@@ -1,0 +1,54 @@
+open Ddb_logic
+
+(* 2-QBF instances: a quantifier prefix with two blocks over disjoint
+   variable sets and a propositional matrix.  These are the canonical
+   Sigma-2 / Pi-2 complete problems the paper reduces from; we use them both
+   to generate provably hard database instances and as the reference oracle
+   at the second level of the polynomial hierarchy. *)
+
+type prefix = Exists_forall | Forall_exists
+
+type t = {
+  prefix : prefix;
+  num_vars : int; (* all matrix atoms are < num_vars *)
+  block1 : int list; (* outermost quantifier block *)
+  block2 : int list; (* innermost quantifier block *)
+  matrix : Formula.t;
+}
+
+let make ~prefix ~num_vars ~block1 ~block2 ~matrix =
+  let b1 = List.sort_uniq Int.compare block1 in
+  let b2 = List.sort_uniq Int.compare block2 in
+  if List.exists (fun v -> List.mem v b2) b1 then
+    invalid_arg "Qbf.make: quantifier blocks overlap";
+  let in_blocks v = List.mem v b1 || List.mem v b2 in
+  if not (List.for_all in_blocks (Formula.atoms matrix)) then
+    invalid_arg "Qbf.make: free variable in matrix";
+  if List.exists (fun v -> v < 0 || v >= num_vars) (b1 @ b2) then
+    invalid_arg "Qbf.make: variable out of range";
+  { prefix; num_vars; block1 = b1; block2 = b2; matrix }
+
+let negate t =
+  {
+    t with
+    prefix =
+      (match t.prefix with
+      | Exists_forall -> Forall_exists
+      | Forall_exists -> Exists_forall);
+    matrix = Formula.not_ t.matrix;
+  }
+
+let pp ?vocab ppf t =
+  let q1, q2 =
+    match t.prefix with
+    | Exists_forall -> ("exists", "forall")
+    | Forall_exists -> ("forall", "exists")
+  in
+  let name x =
+    match vocab with Some v -> Vocab.name v x | None -> string_of_int x
+  in
+  Fmt.pf ppf "@[<h>%s {%a} %s {%a} . %a@]" q1
+    (Fmt.list ~sep:(Fmt.any ",") Fmt.string)
+    (List.map name t.block1) q2
+    (Fmt.list ~sep:(Fmt.any ",") Fmt.string)
+    (List.map name t.block2) (Formula.pp ?vocab) t.matrix

@@ -1,0 +1,30 @@
+open Ddb_logic
+
+(** 2-QBF instances: two quantifier blocks over disjoint variable sets and a
+    propositional matrix — the canonical Σ₂ᵖ/Π₂ᵖ-complete problems the
+    paper reduces from. *)
+
+type prefix = Exists_forall | Forall_exists
+
+type t = {
+  prefix : prefix;
+  num_vars : int;
+  block1 : int list;  (** outermost block *)
+  block2 : int list;  (** innermost block *)
+  matrix : Formula.t;
+}
+
+val make :
+  prefix:prefix ->
+  num_vars:int ->
+  block1:int list ->
+  block2:int list ->
+  matrix:Formula.t ->
+  t
+(** @raise Invalid_argument on overlapping blocks, free matrix variables, or
+    out-of-range variables. *)
+
+val negate : t -> t
+(** ¬(∃∀ φ) = ∀∃ ¬φ. *)
+
+val pp : ?vocab:Vocab.t -> Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/sat/brute.ml: Ddb_logic Interp List Lit Option

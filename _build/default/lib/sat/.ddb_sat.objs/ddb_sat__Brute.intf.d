@@ -1,0 +1,1 @@
+lib/sat/brute.mli: Ddb_logic Interp Lit

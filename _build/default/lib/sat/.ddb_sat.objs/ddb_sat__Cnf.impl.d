@@ -1,0 +1,1 @@
+lib/sat/cnf.ml: Ddb_logic Formula List Lit

@@ -1,0 +1,1 @@
+lib/sat/cnf.mli: Ddb_logic Formula Lit

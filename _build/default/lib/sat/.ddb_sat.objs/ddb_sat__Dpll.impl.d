@@ -1,0 +1,1 @@
+lib/sat/dpll.ml: Array Ddb_logic Interp List Lit Option

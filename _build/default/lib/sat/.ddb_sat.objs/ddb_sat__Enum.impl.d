@@ -1,0 +1,1 @@
+lib/sat/enum.ml: Ddb_logic Interp List Lit Solver

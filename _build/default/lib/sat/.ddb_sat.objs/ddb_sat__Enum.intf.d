@@ -1,0 +1,1 @@
+lib/sat/enum.mli: Ddb_logic Interp Lit Solver

@@ -1,0 +1,1 @@
+lib/sat/horn.ml: Array Ddb_logic Interp List Queue

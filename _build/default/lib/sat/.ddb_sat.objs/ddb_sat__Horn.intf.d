@@ -1,0 +1,1 @@
+lib/sat/horn.mli: Ddb_logic Interp

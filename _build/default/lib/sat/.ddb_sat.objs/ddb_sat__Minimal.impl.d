@@ -1,0 +1,1 @@
+lib/sat/minimal.ml: Ddb_logic Interp List Lit Option Partition Solver

@@ -1,0 +1,1 @@
+lib/sat/minimal.mli: Ddb_logic Interp Lit Partition Solver

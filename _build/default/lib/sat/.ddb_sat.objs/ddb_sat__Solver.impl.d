@@ -1,0 +1,1 @@
+lib/sat/solver.ml: Array Cnf Ddb_logic Fmt Int Interp List Stats

@@ -1,0 +1,1 @@
+lib/sat/solver.mli: Ddb_logic Format Formula Interp Lit

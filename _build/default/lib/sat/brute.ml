@@ -1,0 +1,17 @@
+open Ddb_logic
+
+(* Truth-table SAT reference: used by the test suite to cross-check the CDCL
+   solver and by the reference engines on tiny universes.  Exponential by
+   construction; callers guard the universe size. *)
+
+let clause_satisfied m clause = List.exists (Lit.holds m) clause
+
+let satisfies m clauses = List.for_all (clause_satisfied m) clauses
+
+let models ~num_vars clauses =
+  List.filter (fun m -> satisfies m clauses) (Interp.all num_vars)
+
+let solve ~num_vars clauses =
+  List.find_opt (fun m -> satisfies m clauses) (Interp.all num_vars)
+
+let is_sat ~num_vars clauses = Option.is_some (solve ~num_vars clauses)

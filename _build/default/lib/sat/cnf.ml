@@ -1,0 +1,81 @@
+open Ddb_logic
+
+(* Packed literal encoding used inside the solver: literal 2*v is the positive
+   occurrence of variable v, literal 2*v+1 the negative one. *)
+
+type plit = int
+
+let plit_pos v = 2 * v
+let plit_neg v = (2 * v) + 1
+let plit_var (l : plit) = l lsr 1
+let plit_sign (l : plit) = l land 1 = 0 (* true = positive *)
+let plit_negate (l : plit) = l lxor 1
+
+let plit_of_lit = function Lit.Pos v -> plit_pos v | Lit.Neg v -> plit_neg v
+
+let lit_of_plit l =
+  if plit_sign l then Lit.Pos (plit_var l) else Lit.Neg (plit_var l)
+
+(* Tseitin encoding of a query formula.
+
+   [tseitin ~next_var f] returns [(clauses, next_var', out)]: clauses over
+   atoms < next_var' (fresh variables start at [next_var]) that are
+   equisatisfiable with the definition of the output literal [out]: any model
+   of the clauses gives [out] the truth value of [f], and any assignment of
+   the original atoms extends to a model of the clauses.  Asserting [out]
+   (resp. its negation) asserts [f] (resp. ¬f). *)
+let tseitin ~next_var f =
+  let clauses = ref [] in
+  let fresh = ref next_var in
+  let emit c = clauses := c :: !clauses in
+  let new_var () =
+    let v = !fresh in
+    incr fresh;
+    v
+  in
+  let define_and out a b =
+    (* out <-> a & b *)
+    emit [ Lit.negate out; a ];
+    emit [ Lit.negate out; b ];
+    emit [ out; Lit.negate a; Lit.negate b ]
+  in
+  let define_or out a b =
+    emit [ out; Lit.negate a ];
+    emit [ out; Lit.negate b ];
+    emit [ Lit.negate out; a; b ]
+  in
+  let rec go f =
+    match f with
+    | Formula.True ->
+      let v = new_var () in
+      emit [ Lit.Pos v ];
+      Lit.Pos v
+    | Formula.False ->
+      let v = new_var () in
+      emit [ Lit.Neg v ];
+      Lit.Pos v
+    | Formula.Atom x -> Lit.Pos x
+    | Formula.Not g -> Lit.negate (go g)
+    | Formula.And (a, b) ->
+      let la = go a and lb = go b in
+      let out = Lit.Pos (new_var ()) in
+      define_and out la lb;
+      out
+    | Formula.Or (a, b) ->
+      let la = go a and lb = go b in
+      let out = Lit.Pos (new_var ()) in
+      define_or out la lb;
+      out
+    | Formula.Imp (a, b) -> go (Formula.Or (Formula.Not a, b))
+    | Formula.Iff (a, b) ->
+      let la = go a and lb = go b in
+      let out = Lit.Pos (new_var ()) in
+      (* out <-> (la <-> lb) *)
+      emit [ Lit.negate out; Lit.negate la; lb ];
+      emit [ Lit.negate out; la; Lit.negate lb ];
+      emit [ out; la; lb ];
+      emit [ out; Lit.negate la; Lit.negate lb ];
+      out
+  in
+  let out = go f in
+  (List.rev !clauses, !fresh, out)

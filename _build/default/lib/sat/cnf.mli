@@ -1,0 +1,23 @@
+open Ddb_logic
+
+(** Packed literal encoding and Tseitin transformation for the SAT layer. *)
+
+type plit = int
+(** Packed literal: [2v] is the positive, [2v+1] the negative occurrence of
+    variable [v]. *)
+
+val plit_pos : int -> plit
+val plit_neg : int -> plit
+val plit_var : plit -> int
+val plit_sign : plit -> bool
+(** [true] = positive. *)
+
+val plit_negate : plit -> plit
+val plit_of_lit : Lit.t -> plit
+val lit_of_plit : plit -> Lit.t
+
+val tseitin :
+  next_var:int -> Formula.t -> Lit.t list list * int * Lit.t
+(** [(clauses, next_var', out)]: clauses defining the output literal [out]
+    to carry the formula's truth value, with auxiliary variables allocated
+    from [next_var].  Asserting [out] asserts the formula. *)

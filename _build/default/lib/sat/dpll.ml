@@ -1,0 +1,91 @@
+open Ddb_logic
+
+(* Plain recursive DPLL without clause learning or watched literals: the
+   ablation baseline for the ABL-sat experiment (DESIGN.md).  Unit
+   propagation rescans the clause list; branching picks the first unassigned
+   variable.  Deliberately simple — the point is to measure what CDCL buys. *)
+
+type assignment = int array (* -1 unassigned / 0 false / 1 true *)
+
+let lit_value (assign : assignment) = function
+  | Lit.Pos v -> assign.(v)
+  | Lit.Neg v -> if assign.(v) < 0 then -1 else 1 - assign.(v)
+
+type clause_state = Satisfied | Conflict | Unit of Lit.t | Unresolved
+
+let clause_state assign clause =
+  let rec go unassigned = function
+    | [] -> (
+      match unassigned with
+      | [] -> Conflict
+      | [ l ] -> Unit l
+      | _ -> Unresolved)
+    | l :: rest -> (
+      match lit_value assign l with
+      | 1 -> Satisfied
+      | 0 -> go unassigned rest
+      | _ -> go (l :: unassigned) rest)
+  in
+  go [] clause
+
+exception Conflict_found
+
+(* Propagate to fixpoint; returns the list of assigned variables (for
+   undoing).  Raises [Conflict_found] on conflict. *)
+let propagate assign clauses trail =
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun clause ->
+        match clause_state assign clause with
+        | Conflict -> raise Conflict_found
+        | Unit l ->
+          let v = Lit.atom l in
+          assign.(v) <- (if Lit.is_positive l then 1 else 0);
+          trail := v :: !trail;
+          changed := true
+        | Satisfied | Unresolved -> ())
+      clauses
+  done
+
+let solve ~num_vars clauses =
+  if List.exists (( = ) []) clauses then None
+  else begin
+    let assign = Array.make (max num_vars 1) (-1) in
+    let stats_decisions = ref 0 in
+    let rec search () =
+      let trail = ref [] in
+      match propagate assign clauses trail with
+      | exception Conflict_found ->
+        List.iter (fun v -> assign.(v) <- -1) !trail;
+        false
+      | () ->
+        let rec first_unassigned v =
+          if v >= num_vars then -1
+          else if assign.(v) < 0 then v
+          else first_unassigned (v + 1)
+        in
+        let v = first_unassigned 0 in
+        let ok =
+          if v < 0 then true
+          else begin
+            incr stats_decisions;
+            let try_value b =
+              assign.(v) <- b;
+              let ok = search () in
+              if not ok then assign.(v) <- -1;
+              ok
+            in
+            try_value 1 || try_value 0
+          end
+        in
+        if not ok then List.iter (fun v -> assign.(v) <- -1) !trail;
+        ok
+    in
+    if search () then
+      Some (Interp.of_pred num_vars (fun v -> assign.(v) = 1))
+    else None
+  end
+
+let is_sat ~num_vars clauses = Option.is_some (solve ~num_vars clauses)

@@ -1,0 +1,7 @@
+open Ddb_logic
+
+(** Naive DPLL (no learning, no watched literals): the ablation baseline
+    against the CDCL solver. *)
+
+val solve : num_vars:int -> Lit.t list list -> Interp.t option
+val is_sat : num_vars:int -> Lit.t list list -> bool

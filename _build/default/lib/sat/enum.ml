@@ -1,0 +1,37 @@
+open Ddb_logic
+
+(* Model enumeration by exact blocking clauses over a projection universe.
+   The solver is mutated (blocking clauses accumulate); callers normally use
+   a dedicated solver instance. *)
+
+let blocking_clause ~universe m =
+  List.init universe (fun v ->
+      if Interp.mem m v then Lit.Neg v else Lit.Pos v)
+
+(* Iterate the models of [solver], projected to the first [universe] atoms,
+   each projection reported exactly once.  Stops when the callback returns
+   [`Stop] or after [limit] models. *)
+let iter ?limit ~universe solver f =
+  let budget = ref (match limit with Some k -> k | None -> -1) in
+  let continue = ref true in
+  while !continue && !budget <> 0 do
+    match Solver.solve solver with
+    | Solver.Unsat -> continue := false
+    | Solver.Sat ->
+      let m = Solver.model ~universe solver in
+      if !budget > 0 then decr budget;
+      (match f m with `Stop -> continue := false | `Continue -> ());
+      if !continue && !budget <> 0 then
+        Solver.add_clause solver (blocking_clause ~universe m)
+  done
+
+let all_models ?limit ~num_vars clauses =
+  let solver = Solver.of_clauses ~num_vars clauses in
+  let acc = ref [] in
+  iter ?limit ~universe:num_vars solver (fun m ->
+      acc := m :: !acc;
+      `Continue);
+  List.rev !acc
+
+let count_models ?limit ~num_vars clauses =
+  List.length (all_models ?limit ~num_vars clauses)

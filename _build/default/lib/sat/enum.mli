@@ -1,0 +1,17 @@
+open Ddb_logic
+
+(** SAT-based model enumeration with projection blocking. *)
+
+val blocking_clause : universe:int -> Interp.t -> Lit.t list
+
+val iter :
+  ?limit:int ->
+  universe:int ->
+  Solver.t ->
+  (Interp.t -> [ `Continue | `Stop ]) ->
+  unit
+(** Enumerate models projected to the first [universe] atoms (each projection
+    once).  Mutates the solver by adding blocking clauses. *)
+
+val all_models : ?limit:int -> num_vars:int -> Lit.t list list -> Interp.t list
+val count_models : ?limit:int -> num_vars:int -> Lit.t list list -> int

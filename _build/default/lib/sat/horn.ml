@@ -1,0 +1,45 @@
+open Ddb_logic
+
+(* Least models of definite programs, by the classic linear-time counter
+   algorithm (Dowling–Gallier).  Definite programs are the backbone of the
+   tractable semantics: splits for PWS, reducts of non-disjunctive programs,
+   stratified evaluation. *)
+
+type rule = { head : int; body : int list }
+
+let rule ~head ~body = { head; body }
+
+(* Least Herbrand model of the rules (facts are rules with empty bodies). *)
+let least_model ~num_vars rules =
+  let rules = Array.of_list rules in
+  let remaining = Array.map (fun r -> List.length r.body) rules in
+  (* occurs.(v) = indices of rules with v in the body *)
+  let occurs = Array.make (max num_vars 1) [] in
+  Array.iteri
+    (fun i r -> List.iter (fun v -> occurs.(v) <- i :: occurs.(v)) r.body)
+    rules;
+  let in_model = Array.make (max num_vars 1) false in
+  let queue = Queue.create () in
+  let derive v =
+    if not in_model.(v) then begin
+      in_model.(v) <- true;
+      Queue.add v queue
+    end
+  in
+  Array.iteri (fun _ r -> if r.body = [] then derive r.head) rules;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    List.iter
+      (fun i ->
+        remaining.(i) <- remaining.(i) - 1;
+        if remaining.(i) = 0 then derive rules.(i).head)
+      occurs.(v)
+  done;
+  Interp.of_pred num_vars (fun v -> in_model.(v))
+
+(* Dually useful: does the least model satisfy a set of integrity
+   constraints [:- b1,...,bk] (given as positive-body atom lists)? *)
+let integrity_ok model constraints =
+  List.for_all
+    (fun body -> not (List.for_all (Interp.mem model) body))
+    constraints

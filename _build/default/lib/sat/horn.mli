@@ -1,0 +1,13 @@
+open Ddb_logic
+
+(** Least models of definite programs (linear-time counter algorithm). *)
+
+type rule = { head : int; body : int list }
+
+val rule : head:int -> body:int list -> rule
+
+val least_model : num_vars:int -> rule list -> Interp.t
+
+val integrity_ok : Interp.t -> int list list -> bool
+(** [integrity_ok m cs]: no constraint body in [cs] is fully contained
+    in [m]. *)

@@ -1,0 +1,195 @@
+open Ddb_logic
+
+(* Minimal models with respect to the (P;Z)-preorder, built from SAT oracle
+   calls.  This module is the engine room of GCWA/EGCWA/CCWA/ECWA/CIRC and of
+   the stable-model check: a minimality test is one SAT call, and searching
+   for a minimal model with a side condition is the guess-and-check loop of
+   the paper's Sigma-2 upper bounds.
+
+   A theory is a plain CNF over a fixed universe; databases are translated by
+   the ddb layer. *)
+
+type theory = { num_vars : int; clauses : Lit.t list list }
+
+let theory ~num_vars clauses = { num_vars; clauses }
+
+let solver_of theory = Solver.of_clauses ~num_vars:theory.num_vars theory.clauses
+
+(* Assumptions pinning the Q-section of [m] and forbidding new P-atoms:
+   the shared part of every "is there something strictly below m?" query. *)
+let cone_assumptions part m =
+  let q_pins =
+    Interp.fold
+      (fun x acc ->
+        (if Interp.mem m x then Lit.Pos x else Lit.Neg x) :: acc)
+      (Partition.q part) []
+  in
+  let p_caps =
+    Interp.fold
+      (fun x acc -> if Interp.mem m x then acc else Lit.Neg x :: acc)
+      (Partition.p part) []
+  in
+  q_pins @ p_caps
+
+(* Is there a model strictly below [m] in the (P;Z)-preorder?  One SAT call
+   on: theory ∧ (Q = m∩Q) ∧ (P ⊆ m∩P) ∧ (P ≠ m∩P).  The last conjunct is a
+   disjunction over P∩m, asserted via a temporary selector-free clause — we
+   use a fresh solver per query, so adding it permanently is fine. *)
+let find_below solver part m =
+  let p_in_m = Interp.to_list (Interp.inter (Partition.p part) m) in
+  match p_in_m with
+  | [] -> None (* nothing to shrink: m is minimal *)
+  | _ -> (
+    (* Selector literal activating the "strictly smaller" clause so the
+       solver stays reusable for further queries on other models. *)
+    let sel = Solver.new_var solver in
+    Solver.add_clause solver
+      (Lit.Neg sel :: List.map (fun x -> Lit.Neg x) p_in_m);
+    let assumptions = Lit.Pos sel :: cone_assumptions part m in
+    match Solver.solve ~assumptions solver with
+    | Solver.Unsat ->
+      (* Retire the selector so the clause can never fire again. *)
+      Solver.add_clause solver [ Lit.Neg sel ];
+      None
+    | Solver.Sat ->
+      let below = Solver.model ~universe:(Interp.universe_size m) solver in
+      Solver.add_clause solver [ Lit.Neg sel ];
+      Some below)
+
+let is_minimal_with solver part m = Option.is_none (find_below solver part m)
+
+let is_minimal theory part m = is_minimal_with (solver_of theory) part m
+
+(* Descend from a model to a minimal model below it.  Terminates because
+   |P ∩ m| strictly decreases. *)
+let minimize_with solver part m =
+  let rec go m =
+    match find_below solver part m with None -> m | Some m' -> go m'
+  in
+  go m
+
+let minimize theory part m = minimize_with (solver_of theory) part m
+
+(* Some minimal model of the theory, if consistent. *)
+let find_minimal theory part =
+  let solver = solver_of theory in
+  match Solver.solve solver with
+  | Solver.Unsat -> None
+  | Solver.Sat ->
+    let m = Solver.model ~universe:theory.num_vars solver in
+    Some (minimize_with solver part m)
+
+(* Blocking clause excluding every interpretation whose Q-section equals m's
+   and whose P-section contains m's.  Sound for minimal-model search: if m is
+   not minimal, nothing in that cone is minimal either. *)
+let cone_blocking part m =
+  let block_p =
+    Interp.fold
+      (fun x acc -> if Interp.mem m x then Lit.Neg x :: acc else acc)
+      (Partition.p part) []
+  in
+  let block_q =
+    Interp.fold
+      (fun x acc ->
+        (if Interp.mem m x then Lit.Neg x else Lit.Pos x) :: acc)
+      (Partition.q part) []
+  in
+  block_p @ block_q
+
+(* Search for M ∈ MM(theory; P; Z) additionally satisfying the [extra]
+   clauses (which may mention auxiliary atoms beyond the universe, e.g. a
+   Tseitin encoding of ¬F; auxiliaries float like Z-atoms).
+
+   The loop minimizes each candidate *within theory ∧ extra* and then checks
+   plain-theory minimality with one more oracle call:
+
+     candidate <- SAT(theory ∧ extra ∧ blocked);
+     m̂ <- minimize candidate within (theory ∧ extra);
+     if m̂ is (P;Z)-minimal for theory alone: answer;
+     else block the cone of m̂ and iterate.
+
+   Soundness of the cone block: anything strictly above m̂ is dominated by
+   the theory-model m̂, hence not theory-minimal — the cone contains no
+   unseen answer.  Completeness: an answer M (theory-minimal, ⊨ extra)
+   inside cone(m̂) would satisfy m̂ ≤ M with m̂ a theory model, contradicting
+   M's minimality unless M = m̂, which was just checked.  Each iteration
+   blocks its own candidate, so the loop terminates. *)
+let find_minimal_such_that ?(extra = []) theory part =
+  let candidate_solver = solver_of theory in
+  List.iter (Solver.add_clause candidate_solver) extra;
+  (* Descents stay inside theory ∧ extra: that is what makes cone blocking
+     complete (a descent can never jump over an unseen answer). *)
+  let constrained_minimizer = solver_of theory in
+  List.iter (Solver.add_clause constrained_minimizer) extra;
+  let plain_checker = solver_of theory in
+  let n = theory.num_vars in
+  let rec loop () =
+    match Solver.solve candidate_solver with
+    | Solver.Unsat -> None
+    | Solver.Sat ->
+      let m = Solver.model ~universe:n candidate_solver in
+      let m_hat = minimize_with constrained_minimizer part m in
+      if extra = [] || is_minimal_with plain_checker part m_hat then
+        Some m_hat
+      else begin
+        Solver.add_clause candidate_solver (cone_blocking part m_hat);
+        loop ()
+      end
+  in
+  loop ()
+
+(* All minimal models under the total partition P = V (the MM(DB) case),
+   enumerated by minimize-then-block.  Two distinct ⊆-minimal models are
+   incomparable, so blocking the superset cone of each found model never
+   removes an unseen minimal model. *)
+let all_minimal ?limit theory =
+  let part = Partition.minimize_all theory.num_vars in
+  let candidate_solver = solver_of theory in
+  let minimize_solver = solver_of theory in
+  let acc = ref [] in
+  let budget = ref (match limit with Some k -> k | None -> -1) in
+  let continue = ref true in
+  while !continue && !budget <> 0 do
+    match Solver.solve candidate_solver with
+    | Solver.Unsat -> continue := false
+    | Solver.Sat ->
+      let m = Solver.model ~universe:theory.num_vars candidate_solver in
+      let m_min = minimize_with minimize_solver part m in
+      acc := m_min :: !acc;
+      if !budget > 0 then decr budget;
+      Solver.add_clause candidate_solver (cone_blocking part m_min)
+  done;
+  List.rev !acc
+
+(* Lazy variant of [all_minimal]: feed ⊆-minimal models of the theory to a
+   callback until it stops.  With [extra] clauses, exactly the minimal
+   models *satisfying extra* are reported (same constrained-minimization
+   scheme as [find_minimal_such_that]; see the completeness argument
+   there). *)
+let iter_minimal ?(extra = []) theory f =
+  let part = Partition.minimize_all theory.num_vars in
+  let candidate_solver = solver_of theory in
+  List.iter (Solver.add_clause candidate_solver) extra;
+  let constrained_minimizer = solver_of theory in
+  List.iter (Solver.add_clause constrained_minimizer) extra;
+  let plain_checker = solver_of theory in
+  let continue = ref true in
+  while !continue do
+    match Solver.solve candidate_solver with
+    | Solver.Unsat -> continue := false
+    | Solver.Sat ->
+      let m = Solver.model ~universe:theory.num_vars candidate_solver in
+      let m_hat = minimize_with constrained_minimizer part m in
+      if extra = [] || is_minimal_with plain_checker part m_hat then begin
+        match f m_hat with `Stop -> continue := false | `Continue -> ()
+      end;
+      if !continue then
+        Solver.add_clause candidate_solver (cone_blocking part m_hat)
+  done
+
+(* Reference implementation over explicit model lists (for tests). *)
+
+let minimal_of_models part models =
+  List.filter
+    (fun m -> not (List.exists (fun m' -> Partition.lt part m' m) models))
+    models

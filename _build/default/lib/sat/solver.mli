@@ -1,0 +1,42 @@
+open Ddb_logic
+
+(** CDCL SAT solver — the NP oracle of the reproduction.
+
+    Incremental interface: clauses may be added between [solve] calls, and
+    [solve] accepts assumption literals.  [solve_calls] counts oracle
+    queries for the empirical complexity harness. *)
+
+type t
+
+type result = Sat | Unsat
+
+val create : ?num_vars:int -> unit -> t
+val of_clauses : num_vars:int -> Lit.t list list -> t
+
+val num_vars : t -> int
+val ensure_vars : t -> int -> unit
+val new_var : t -> int
+
+val add_clause : t -> Lit.t list -> unit
+(** Add a clause.  Tautologies are dropped; an empty (or root-falsified)
+    clause makes the solver permanently unsatisfiable. *)
+
+val add_formula : t -> next_var:int -> Formula.t -> int
+(** Assert a formula via Tseitin encoding, allocating auxiliary variables
+    from [next_var] upward.  Returns the next free variable. *)
+
+val solve : ?assumptions:Lit.t list -> t -> result
+
+val model : ?universe:int -> t -> Interp.t
+(** Model of the last [Sat] answer, projected to the first [universe]
+    atoms (default: all solver variables). *)
+
+val is_root_unsat : t -> bool
+
+val solve_calls : t -> int
+(** Number of [solve] invocations so far — the oracle-call count. *)
+
+val conflicts : t -> int
+val decisions : t -> int
+val propagations : t -> int
+val pp_stats : Format.formatter -> t -> unit

@@ -1,0 +1,21 @@
+(* Global oracle-call counters for the empirical complexity harness.
+
+   [sat_calls] is bumped by every [Solver.solve]; higher-level oracles (the
+   Sigma-2 oracle in lib/core) bump [sigma2_calls].  Benches snapshot, run a
+   task, and report the deltas. *)
+
+let sat_calls = ref 0
+let sigma2_calls = ref 0
+
+type snapshot = { sat : int; sigma2 : int }
+
+let snapshot () = { sat = !sat_calls; sigma2 = !sigma2_calls }
+
+let delta before =
+  { sat = !sat_calls - before.sat; sigma2 = !sigma2_calls - before.sigma2 }
+
+let reset () =
+  sat_calls := 0;
+  sigma2_calls := 0
+
+let pp ppf s = Fmt.pf ppf "sat=%d sigma2=%d" s.sat s.sigma2

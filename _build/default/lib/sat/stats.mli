@@ -1,0 +1,15 @@
+(** Global oracle-call counters for the empirical complexity harness.
+    [Solver.solve] bumps [sat_calls]; the Σ₂ᵖ oracles in higher layers bump
+    [sigma2_calls]. *)
+
+val sat_calls : int ref
+val sigma2_calls : int ref
+
+type snapshot = { sat : int; sigma2 : int }
+
+val snapshot : unit -> snapshot
+val delta : snapshot -> snapshot
+(** Counts accumulated since the snapshot. *)
+
+val reset : unit -> unit
+val pp : Format.formatter -> snapshot -> unit

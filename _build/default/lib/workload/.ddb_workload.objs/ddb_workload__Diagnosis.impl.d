@@ -1,0 +1,1 @@
+lib/workload/diagnosis.ml: Array Clause Db Ddb_core Ddb_db Ddb_logic Formula Interp List Lit Models Partition Printf Vocab

@@ -1,0 +1,1 @@
+lib/workload/diagnosis.mli: Db Ddb_db Ddb_logic Interp Partition

@@ -1,0 +1,1 @@
+lib/workload/graph.ml: Clause Db Ddb_core Ddb_db Ddb_logic Fun List Lit Models Printf Rng Vocab

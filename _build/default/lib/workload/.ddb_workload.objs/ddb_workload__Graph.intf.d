@@ -1,0 +1,1 @@
+lib/workload/graph.mli: Db Ddb_db Ddb_logic Interp

@@ -1,0 +1,1 @@
+lib/workload/pigeonhole.ml: Ddb_logic Fun List Lit

@@ -1,0 +1,1 @@
+lib/workload/pigeonhole.mli: Ddb_logic Lit

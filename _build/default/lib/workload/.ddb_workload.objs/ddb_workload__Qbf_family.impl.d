@@ -1,0 +1,1 @@
+lib/workload/qbf_family.ml: Ddb_core Ddb_logic Ddb_qbf Formula Fun List Qbf Rng

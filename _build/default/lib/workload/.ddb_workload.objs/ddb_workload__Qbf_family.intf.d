@@ -1,0 +1,1 @@
+lib/workload/qbf_family.mli: Db Ddb_db Ddb_qbf Qbf

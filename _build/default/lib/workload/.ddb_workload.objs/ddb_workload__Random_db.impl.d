@@ -1,0 +1,1 @@
+lib/workload/random_db.ml: Array Clause Db Ddb_db Ddb_logic Formula Fun List Partition Rng Vocab

@@ -1,0 +1,1 @@
+lib/workload/random_db.mli: Db Ddb_db Ddb_logic Formula Partition

@@ -1,0 +1,39 @@
+open Ddb_logic
+open Ddb_qbf
+
+(* Provably hard instance families: random ∃∀ 2-QBFs and their images under
+   the paper's reductions.  These exercise exactly the cells whose hardness
+   the paper proves (Π₂ᵖ literal inference, Σ₂ᵖ stable-model existence). *)
+
+(* Random ∃X∀Y matrix in DNF shape (k terms of w literals each), the natural
+   form for ∀-hardness: the QBF asks whether some X-assignment makes the
+   DNF a Y-tautology. *)
+let random_ef ?(terms_per_var = 2) ?(term_width = 3) ~seed ~xs ~ys () =
+  let rng = Rng.create seed in
+  let num_vars = xs + ys in
+  let block1 = List.init xs Fun.id in
+  let block2 = List.init ys (fun i -> xs + i) in
+  let term _ =
+    Formula.big_and
+      (List.init term_width (fun _ ->
+           let v = Rng.int rng num_vars in
+           if Rng.bool rng then Formula.Atom v
+           else Formula.Not (Formula.Atom v)))
+  in
+  let matrix =
+    Formula.big_or (List.init (terms_per_var * num_vars) term)
+  in
+  Qbf.make ~prefix:Qbf.Exists_forall ~num_vars ~block1 ~block2 ~matrix
+
+(* Positive DDB whose GCWA-literal answer encodes the QBF (Table 1's
+   Π₂ᵖ-hard literal-inference family).  Returns the database and the witness
+   atom w: GCWA(DB) ⊨ ¬w iff the QBF is invalid. *)
+let gcwa_hard ~seed ~xs ~ys =
+  let qbf = random_ef ~seed ~xs ~ys () in
+  Ddb_core.Reductions.qbf_to_gcwa qbf
+
+(* DNDB whose stable-model existence encodes the QBF (Table 2's Σ₂ᵖ-hard
+   existence family). *)
+let dsm_hard ~seed ~xs ~ys =
+  let qbf = random_ef ~seed ~xs ~ys () in
+  Ddb_core.Reductions.qbf_to_dsm_exists qbf

@@ -1,0 +1,23 @@
+open Ddb_db
+open Ddb_qbf
+
+(** Provably hard instance families: random ∃∀ 2-QBFs and their images
+    under the paper's reductions. *)
+
+val random_ef :
+  ?terms_per_var:int ->
+  ?term_width:int ->
+  seed:int ->
+  xs:int ->
+  ys:int ->
+  unit ->
+  Qbf.t
+(** Random ∃X∀Y QBF with a DNF-shaped matrix. *)
+
+val gcwa_hard : seed:int -> xs:int -> ys:int -> Db.t * int
+(** Positive DDB + witness atom w with GCWA(DB) ⊨ ¬w iff the QBF is
+    invalid (Table 1's Π₂ᵖ-hard literal family). *)
+
+val dsm_hard : seed:int -> xs:int -> ys:int -> Db.t
+(** DNDB with a stable model iff the QBF is valid (Table 2's Σ₂ᵖ-hard
+    existence family). *)

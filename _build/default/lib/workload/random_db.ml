@@ -1,0 +1,114 @@
+open Ddb_logic
+open Ddb_db
+
+(* Random database families for the bench harness, one per table setting.
+
+   The shape knobs follow the usual random-CNF playbook: a clause count
+   proportional to the universe, short disjunctive heads, short bodies.
+   Every family takes an explicit seed. *)
+
+type profile = {
+  head_max : int; (* head atoms per clause, >= 1 *)
+  pos_max : int;
+  neg_max : int; (* 0 = positive database *)
+  integrity_ratio : float; (* fraction of integrity clauses *)
+  clause_ratio : float; (* clauses per atom *)
+}
+
+let default_profile =
+  { head_max = 2; pos_max = 2; neg_max = 0; integrity_ratio = 0.0; clause_ratio = 2.0 }
+
+let clause rng ~num_vars ~profile =
+  let atom () = Rng.int rng num_vars in
+  let atoms max_count =
+    List.init (Rng.int rng (max_count + 1)) (fun _ -> atom ())
+  in
+  let rec retry () =
+    let integrity = Rng.float rng < profile.integrity_ratio in
+    let head =
+      if integrity then []
+      else List.init (1 + Rng.int rng profile.head_max) (fun _ -> atom ())
+    in
+    let pos =
+      if integrity then 1 + Rng.int rng (max profile.pos_max 1) else Rng.int rng (profile.pos_max + 1)
+    in
+    let pos = List.init pos (fun _ -> atom ()) in
+    let neg = atoms profile.neg_max in
+    if head = [] && pos = [] && neg = [] then retry ()
+    else Clause.make ~head ~pos ~neg
+  in
+  retry ()
+
+let generate ?(profile = default_profile) ~seed ~num_vars () =
+  let rng = Rng.create seed in
+  let num_clauses =
+    max 1 (int_of_float (profile.clause_ratio *. float_of_int num_vars))
+  in
+  let vocab = Vocab.of_size num_vars in
+  Db.make ~vocab
+    (List.init num_clauses (fun _ -> clause rng ~num_vars ~profile))
+
+(* Table 1 family: positive DDB (no negation, no integrity clauses). *)
+let positive ~seed ~num_vars =
+  generate ~profile:default_profile ~seed ~num_vars ()
+
+(* Table 2, negation-free rows: DDDB with integrity clauses. *)
+let with_integrity ~seed ~num_vars =
+  generate
+    ~profile:{ default_profile with integrity_ratio = 0.15 }
+    ~seed ~num_vars ()
+
+(* Table 2, normal rows: full DNDBs with negation and integrity clauses. *)
+let normal ~seed ~num_vars =
+  generate
+    ~profile:{ default_profile with neg_max = 1; integrity_ratio = 0.1 }
+    ~seed ~num_vars ()
+
+(* Stratified family (for ICWA / PERF): atoms are spread over [layers]
+   layers and negation only reaches strictly lower layers. *)
+let stratified ?(layers = 3) ~seed ~num_vars () =
+  let rng = Rng.create seed in
+  let layer_of = Array.init num_vars (fun _ -> Rng.int rng layers) in
+  let all = List.init num_vars Fun.id in
+  let at_most l = List.filter (fun x -> layer_of.(x) <= l) all in
+  let below l = List.filter (fun x -> layer_of.(x) < l) all in
+  let exactly l = List.filter (fun x -> layer_of.(x) = l) all in
+  let rec make_clause () =
+    let l = Rng.int rng layers in
+    match exactly l with
+    | [] -> make_clause ()
+    | heads ->
+      let head = List.init (1 + Rng.int rng 2) (fun _ -> Rng.pick rng heads) in
+      let pos_pool = at_most l in
+      let pos = List.init (Rng.int rng 3) (fun _ -> Rng.pick rng pos_pool) in
+      let neg =
+        match below l with
+        | [] -> []
+        | pool -> List.init (Rng.int rng 2) (fun _ -> Rng.pick rng pool)
+      in
+      Clause.make ~head ~pos ~neg
+  in
+  let vocab = Vocab.of_size num_vars in
+  Db.make ~vocab (List.init (2 * num_vars) (fun _ -> make_clause ()))
+
+(* Random query formula over the database's universe. *)
+let formula ~seed ~num_vars ~depth =
+  let rng = Rng.create seed in
+  let rec go depth =
+    if depth = 0 || Rng.int rng 4 = 0 then Formula.Atom (Rng.int rng num_vars)
+    else
+      match Rng.int rng 4 with
+      | 0 -> Formula.And (go (depth - 1), go (depth - 1))
+      | 1 -> Formula.Or (go (depth - 1), go (depth - 1))
+      | 2 -> Formula.Not (go (depth - 1))
+      | _ -> Formula.Imp (go (depth - 1), go (depth - 1))
+  in
+  go depth
+
+let random_partition ~seed ~num_vars =
+  let rng = Rng.create seed in
+  let buckets = Array.init num_vars (fun _ -> Rng.int rng 3) in
+  let pick k =
+    List.filter (fun v -> buckets.(v) = k) (List.init num_vars Fun.id)
+  in
+  Partition.of_lists num_vars ~p:(pick 0) ~q:(pick 1) ~z:(pick 2)

@@ -1,0 +1,30 @@
+open Ddb_logic
+open Ddb_db
+
+(** Seeded random database families, one per table setting of the paper. *)
+
+type profile = {
+  head_max : int;
+  pos_max : int;
+  neg_max : int;
+  integrity_ratio : float;
+  clause_ratio : float;
+}
+
+val default_profile : profile
+val generate : ?profile:profile -> seed:int -> num_vars:int -> unit -> Db.t
+
+val positive : seed:int -> num_vars:int -> Db.t
+(** Table 1 family: no negation, no integrity clauses. *)
+
+val with_integrity : seed:int -> num_vars:int -> Db.t
+(** Table 2, negation-free rows. *)
+
+val normal : seed:int -> num_vars:int -> Db.t
+(** Full DNDBs (negation + integrity clauses). *)
+
+val stratified : ?layers:int -> seed:int -> num_vars:int -> unit -> Db.t
+(** Stratified family (negation only reaches strictly lower layers). *)
+
+val formula : seed:int -> num_vars:int -> depth:int -> Formula.t
+val random_partition : seed:int -> num_vars:int -> Partition.t

@@ -1,0 +1,16 @@
+(** SplitMix64 PRNG: reproducible seeded streams, stable across OCaml
+    releases (unlike [Random]). *)
+
+type t
+
+val create : int -> t
+val int : t -> int -> int
+(** Uniform in [0, bound).  @raise Invalid_argument on bound ≤ 0. *)
+
+val bool : t -> bool
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val pick : t -> 'a list -> 'a
+val split : t -> t
+(** Independent child stream. *)

@@ -1,0 +1,1 @@
+test/gen.ml: Array Clause Db Ddb_db Ddb_logic Formula Fun Interp List Partition Random Vocab

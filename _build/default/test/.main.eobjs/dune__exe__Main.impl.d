@@ -1,0 +1,1 @@
+test/main.ml: Alcotest Test_db Test_extensions Test_extra Test_laws Test_logic Test_qbf Test_sat Test_semantics Test_workload

@@ -1,0 +1,1 @@
+test/test_db.ml: Alcotest Clause Db Ddb_db Ddb_logic Formula Gen Interp List Lit Models Parse Partition Possible Priority QCheck QCheck_alcotest Random Reduct Stratify Tp Vocab

@@ -1,0 +1,1 @@
+test/test_laws.ml: Clause Ddb_logic Ddb_sat Formula Fun Gen Interp List Lit Parse Partition QCheck QCheck_alcotest Random Three_valued Vocab

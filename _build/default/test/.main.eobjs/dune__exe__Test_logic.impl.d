@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Clause Ddb_logic Formula Fun Interp List Lit Parse Printf String Three_valued Vocab

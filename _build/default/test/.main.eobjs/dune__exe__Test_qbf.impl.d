@@ -1,0 +1,1 @@
+test/test_qbf.ml: Alcotest Cegar Ddb_logic Ddb_qbf Formula Fun List Naive QCheck QCheck_alcotest Qbf Random

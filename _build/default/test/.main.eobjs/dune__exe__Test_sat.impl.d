@@ -1,0 +1,1 @@
+test/test_sat.ml: Alcotest Array Brute Ddb_logic Ddb_sat Dpll Enum Formula Fun Horn Interp List Lit Minimal Partition QCheck QCheck_alcotest Random Solver

@@ -1,0 +1,107 @@
+open Ddb_logic
+open Ddb_db
+
+(* Shared random-instance generators for the test suites.  All generators
+   are driven by an explicit [Random.State.t] so qcheck failures are
+   reproducible from the printed seed. *)
+
+let atom rand num_vars = Random.State.int rand (max 1 num_vars)
+
+let atoms rand num_vars ~max_count =
+  let count = Random.State.int rand (max_count + 1) in
+  List.init count (fun _ -> atom rand num_vars)
+
+let clause rand ~num_vars ~allow_neg ~allow_integrity =
+  let rec try_once () =
+    let head_count =
+      if allow_integrity && Random.State.int rand 6 = 0 then 0
+      else 1 + Random.State.int rand 2
+    in
+    let head = List.init head_count (fun _ -> atom rand num_vars) in
+    let pos = atoms rand num_vars ~max_count:2 in
+    let neg = if allow_neg then atoms rand num_vars ~max_count:2 else [] in
+    if head = [] && pos = [] && neg = [] then try_once ()
+    else Clause.make ~head ~pos ~neg
+  in
+  try_once ()
+
+let db rand ~num_vars ~num_clauses ~allow_neg ~allow_integrity =
+  let vocab = Vocab.of_size num_vars in
+  Db.make ~vocab
+    (List.init num_clauses (fun _ ->
+         clause rand ~num_vars ~allow_neg ~allow_integrity))
+
+(* Table 1 fragment: no negation, no integrity clauses. *)
+let positive_db rand ~num_vars ~num_clauses =
+  db rand ~num_vars ~num_clauses ~allow_neg:false ~allow_integrity:false
+
+(* DDDB with integrity clauses (Table 2, negation-free rows). *)
+let dddb_with_integrity rand ~num_vars ~num_clauses =
+  db rand ~num_vars ~num_clauses ~allow_neg:false ~allow_integrity:true
+
+(* General DNDB. *)
+let dndb rand ~num_vars ~num_clauses =
+  db rand ~num_vars ~num_clauses ~allow_neg:true ~allow_integrity:true
+
+(* Stratified database: assign atoms to [layers] layers; negative body atoms
+   are drawn from strictly lower layers, positive body atoms and heads from
+   the clause's layer or below (heads all from the same layer). *)
+let stratified_db rand ~num_vars ~num_clauses ~layers =
+  let layer_of = Array.init num_vars (fun _ -> Random.State.int rand layers) in
+  let atoms_at_most l =
+    List.filter (fun x -> layer_of.(x) <= l) (List.init num_vars Fun.id)
+  in
+  let atoms_below l =
+    List.filter (fun x -> layer_of.(x) < l) (List.init num_vars Fun.id)
+  in
+  let atoms_exactly l =
+    List.filter (fun x -> layer_of.(x) = l) (List.init num_vars Fun.id)
+  in
+  let pick pool = List.nth pool (Random.State.int rand (List.length pool)) in
+  let vocab = Vocab.of_size num_vars in
+  let rec make_clause () =
+    let l = Random.State.int rand layers in
+    let heads = atoms_exactly l in
+    if heads = [] then make_clause ()
+    else begin
+      let head =
+        List.init (1 + Random.State.int rand 2) (fun _ -> pick heads)
+      in
+      let pos_pool = atoms_at_most l in
+      let pos =
+        List.init (Random.State.int rand 3) (fun _ -> pick pos_pool)
+      in
+      let neg_pool = atoms_below l in
+      let neg =
+        if neg_pool = [] then []
+        else List.init (Random.State.int rand 2) (fun _ -> pick neg_pool)
+      in
+      Clause.make ~head ~pos ~neg
+    end
+  in
+  Db.make ~vocab (List.init num_clauses (fun _ -> make_clause ()))
+
+let random_partition rand num_vars =
+  let buckets = Array.init num_vars (fun _ -> Random.State.int rand 3) in
+  let pick k =
+    List.filter (fun v -> buckets.(v) = k) (List.init num_vars Fun.id)
+  in
+  Partition.of_lists num_vars ~p:(pick 0) ~q:(pick 1) ~z:(pick 2)
+
+let random_formula rand num_vars ~depth =
+  let rec go depth =
+    if depth = 0 || Random.State.int rand 4 = 0 then
+      Formula.Atom (atom rand num_vars)
+    else
+      match Random.State.int rand 5 with
+      | 0 -> Formula.And (go (depth - 1), go (depth - 1))
+      | 1 -> Formula.Or (go (depth - 1), go (depth - 1))
+      | 2 -> Formula.Not (go (depth - 1))
+      | 3 -> Formula.Imp (go (depth - 1), go (depth - 1))
+      | _ -> Formula.Iff (go (depth - 1), go (depth - 1))
+  in
+  go depth
+
+let interp_list_equal a b =
+  let a = List.sort Interp.compare a and b = List.sort Interp.compare b in
+  List.length a = List.length b && List.for_all2 Interp.equal a b

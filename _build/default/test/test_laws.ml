@@ -1,0 +1,221 @@
+open Ddb_logic
+
+(* Algebraic-law property tests for the foundation modules: cheap insurance
+   under everything else (the word-boundary bug in Interp.full was exactly
+   the kind of defect these catch). *)
+
+let gen_interp rand n =
+  Interp.of_pred n (fun _ -> Random.State.bool rand)
+
+(* Universe sizes straddling the 62-bit word boundaries. *)
+let sizes = QCheck.oneofl [ 1; 7; 31; 61; 62; 63; 64; 90; 124; 125; 140 ]
+
+let qcheck_interp_boolean_algebra =
+  QCheck.Test.make ~count:300 ~name:"Interp: boolean-algebra laws"
+    QCheck.(pair (int_bound 999999) sizes)
+    (fun (seed, n) ->
+      let rand = Random.State.make [| seed |] in
+      let a = gen_interp rand n and b = gen_interp rand n in
+      let ( = ) = Interp.equal in
+      let c = Interp.complement in
+      Interp.union a (c a) = Interp.full n
+      && Interp.inter a (c a) = Interp.empty n
+      && c (c a) = a
+      (* De Morgan *)
+      && c (Interp.union a b) = Interp.inter (c a) (c b)
+      && c (Interp.inter a b) = Interp.union (c a) (c b)
+      (* absorption *)
+      && Interp.union a (Interp.inter a b) = a
+      && Interp.inter a (Interp.union a b) = a
+      (* diff *)
+      && Interp.diff a b = Interp.inter a (c b))
+
+let qcheck_interp_order =
+  QCheck.Test.make ~count:300 ~name:"Interp: subset is a partial order"
+    QCheck.(pair (int_bound 999999) sizes)
+    (fun (seed, n) ->
+      let rand = Random.State.make [| seed |] in
+      let a = gen_interp rand n and b = gen_interp rand n in
+      Interp.subset a a
+      && ((not (Interp.subset a b && Interp.subset b a)) || Interp.equal a b)
+      && Interp.subset (Interp.inter a b) a
+      && Interp.subset a (Interp.union a b)
+      && Interp.cardinal (Interp.union a b)
+         + Interp.cardinal (Interp.inter a b)
+         = Interp.cardinal a + Interp.cardinal b)
+
+let qcheck_interp_masked =
+  QCheck.Test.make ~count:300 ~name:"Interp: masked ops = ops on intersections"
+    QCheck.(pair (int_bound 999999) sizes)
+    (fun (seed, n) ->
+      let rand = Random.State.make [| seed |] in
+      let mask = gen_interp rand n in
+      let a = gen_interp rand n and b = gen_interp rand n in
+      Interp.subset_within mask a b
+      = Interp.subset (Interp.inter mask a) (Interp.inter mask b)
+      && Interp.equal_within mask a b
+         = Interp.equal (Interp.inter mask a) (Interp.inter mask b))
+
+let qcheck_formula_nnf_preserves =
+  QCheck.Test.make ~count:300 ~name:"Formula: nnf preserves evaluation"
+    QCheck.(pair (int_bound 999999) (int_range 1 5))
+    (fun (seed, n) ->
+      let rand = Random.State.make [| seed |] in
+      let f = Gen.random_formula rand n ~depth:3 in
+      let g = Formula.nnf f in
+      List.for_all
+        (fun m -> Formula.eval m f = Formula.eval m g)
+        (Interp.all n))
+
+let qcheck_formula_smart_constructors =
+  QCheck.Test.make ~count:300
+    ~name:"Formula: smart constructors = raw constructors"
+    QCheck.(pair (int_bound 999999) (int_range 1 4))
+    (fun (seed, n) ->
+      let rand = Random.State.make [| seed |] in
+      let f = Gen.random_formula rand n ~depth:2 in
+      let g = Gen.random_formula rand n ~depth:2 in
+      List.for_all
+        (fun m ->
+          Formula.eval m (Formula.and_ f g)
+          = Formula.eval m (Formula.And (f, g))
+          && Formula.eval m (Formula.or_ f g)
+             = Formula.eval m (Formula.Or (f, g))
+          && Formula.eval m (Formula.not_ f) = not (Formula.eval m f))
+        (Interp.all n))
+
+let qcheck_clause_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"Clause: print/parse roundtrip"
+    QCheck.(pair (int_bound 999999) (int_range 1 6))
+    (fun (seed, num_vars) ->
+      let rand = Random.State.make [| seed |] in
+      let vocab = Vocab.of_size num_vars in
+      let c = Gen.clause rand ~num_vars ~allow_neg:true ~allow_integrity:true in
+      let printed = Clause.to_string ~vocab c in
+      match Parse.program vocab printed with
+      | [ c' ] -> Clause.equal c c'
+      | _ -> false)
+
+let qcheck_formula_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"Formula: print/parse roundtrip (eval)"
+    QCheck.(pair (int_bound 999999) (int_range 1 5))
+    (fun (seed, n) ->
+      let rand = Random.State.make [| seed |] in
+      let vocab = Vocab.of_size n in
+      let f = Gen.random_formula rand n ~depth:3 in
+      let printed = Formula.to_string ~vocab f in
+      let f' = Parse.formula vocab printed in
+      List.for_all
+        (fun m -> Formula.eval m f = Formula.eval m f')
+        (Interp.all n))
+
+let qcheck_partition_preorder =
+  QCheck.Test.make ~count:300 ~name:"Partition: ≤ is a preorder, < its strict part"
+    QCheck.(pair (int_bound 999999) (int_range 1 6))
+    (fun (seed, n) ->
+      let rand = Random.State.make [| seed |] in
+      let part = Gen.random_partition rand n in
+      let a = gen_interp rand n
+      and b = gen_interp rand n
+      and c = gen_interp rand n in
+      Partition.le part a a
+      && ((not (Partition.le part a b && Partition.le part b c))
+         || Partition.le part a c)
+      && Partition.lt part a b
+         = (Partition.le part a b && not (Partition.le part b a)))
+
+let qcheck_three_valued_lattice =
+  QCheck.Test.make ~count:300 ~name:"Three_valued: truth order is a partial order"
+    QCheck.(pair (int_bound 999999) (int_range 1 5))
+    (fun (seed, n) ->
+      let rand = Random.State.make [| seed |] in
+      let gen () =
+        let tru = Interp.of_pred n (fun _ -> Random.State.int rand 3 = 0) in
+        let und =
+          Interp.diff
+            (Interp.of_pred n (fun _ -> Random.State.int rand 3 = 0))
+            tru
+        in
+        Three_valued.make ~tru ~und
+      in
+      let a = gen () and b = gen () and c = gen () in
+      Three_valued.le a a
+      && ((not (Three_valued.le a b && Three_valued.le b a))
+         || Three_valued.equal a b)
+      && ((not (Three_valued.le a b && Three_valued.le b c))
+         || Three_valued.le a c)
+      (* pointwise characterization *)
+      && Three_valued.le a b
+         = List.for_all
+             (fun x ->
+               Three_valued.value_le (Three_valued.value a x)
+                 (Three_valued.value b x))
+             (List.init n Fun.id))
+
+let qcheck_kleene_eval_monotone =
+  QCheck.Test.make ~count:200
+    ~name:"Three_valued: formula eval of negation dualizes"
+    QCheck.(pair (int_bound 999999) (int_range 1 4))
+    (fun (seed, n) ->
+      let n = min n 3 in
+      let rand = Random.State.make [| seed |] in
+      let f = Gen.random_formula rand n ~depth:2 in
+      List.for_all
+        (fun i ->
+          Three_valued.eval_formula i (Formula.Not f)
+          = Three_valued.value_neg (Three_valued.eval_formula i f))
+        (Three_valued.all n))
+
+let qcheck_solver_incremental_consistent =
+  QCheck.Test.make ~count:200
+    ~name:"Solver: incremental addition = monolithic instance"
+    QCheck.(pair (int_bound 999999) (int_range 1 6))
+    (fun (seed, num_vars) ->
+      let rand = Random.State.make [| seed |] in
+      let cnf =
+        List.init (num_vars * 3) (fun _ ->
+            List.init (1 + Random.State.int rand 3) (fun _ ->
+                let v = Random.State.int rand num_vars in
+                if Random.State.bool rand then Lit.Pos v else Lit.Neg v))
+      in
+      let monolithic =
+        Ddb_sat.Solver.solve (Ddb_sat.Solver.of_clauses ~num_vars cnf)
+        = Ddb_sat.Solver.Sat
+      in
+      let incremental =
+        let s = Ddb_sat.Solver.create ~num_vars () in
+        List.for_all
+          (fun c ->
+            Ddb_sat.Solver.add_clause s c;
+            (* solving after every addition must stay consistent with the
+               final answer being reachable *)
+            true)
+          cnf
+        |> fun _ -> Ddb_sat.Solver.solve s = Ddb_sat.Solver.Sat
+      in
+      monolithic = incremental)
+
+let suites =
+  [
+    ( "laws.interp",
+      List.map QCheck_alcotest.to_alcotest
+        [ qcheck_interp_boolean_algebra; qcheck_interp_order; qcheck_interp_masked ] );
+    ( "laws.formula",
+      List.map QCheck_alcotest.to_alcotest
+        [
+          qcheck_formula_nnf_preserves;
+          qcheck_formula_smart_constructors;
+          qcheck_formula_roundtrip;
+        ] );
+    ( "laws.clause",
+      [ QCheck_alcotest.to_alcotest qcheck_clause_roundtrip ] );
+    ( "laws.orders",
+      List.map QCheck_alcotest.to_alcotest
+        [
+          qcheck_partition_preorder;
+          qcheck_three_valued_lattice;
+          qcheck_kleene_eval_monotone;
+        ] );
+    ( "laws.solver",
+      [ QCheck_alcotest.to_alcotest qcheck_solver_incremental_consistent ] );
+  ]

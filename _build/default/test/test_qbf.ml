@@ -1,0 +1,94 @@
+open Ddb_logic
+open Ddb_qbf
+
+let check = Alcotest.(check bool)
+
+(* Random formula over the given atoms. *)
+let rec gen_formula rand atoms depth =
+  let atom () = Formula.Atom (List.nth atoms (Random.State.int rand (List.length atoms))) in
+  if depth = 0 then
+    match Random.State.int rand 4 with
+    | 0 -> Formula.Not (atom ())
+    | _ -> atom ()
+  else
+    let sub () = gen_formula rand atoms (depth - 1) in
+    match Random.State.int rand 5 with
+    | 0 -> Formula.And (sub (), sub ())
+    | 1 -> Formula.Or (sub (), sub ())
+    | 2 -> Formula.Not (sub ())
+    | 3 -> Formula.Imp (sub (), sub ())
+    | _ -> sub ()
+
+let gen_qbf seed =
+  let rand = Random.State.make [| seed |] in
+  let n1 = 1 + Random.State.int rand 3 in
+  let n2 = 1 + Random.State.int rand 3 in
+  let num_vars = n1 + n2 in
+  let block1 = List.init n1 Fun.id in
+  let block2 = List.init n2 (fun i -> n1 + i) in
+  let matrix = gen_formula rand (block1 @ block2) 3 in
+  let prefix = if Random.State.bool rand then Qbf.Exists_forall else Qbf.Forall_exists in
+  Qbf.make ~prefix ~num_vars ~block1 ~block2 ~matrix
+
+let unit_suite =
+  [
+    Alcotest.test_case "exists-forall tautology" `Quick (fun () ->
+        (* exists x forall y . x | ~x : valid *)
+        let t =
+          Qbf.make ~prefix:Qbf.Exists_forall ~num_vars:2 ~block1:[ 0 ]
+            ~block2:[ 1 ]
+            ~matrix:Formula.(Or (Atom 0, Not (Atom 0)))
+        in
+        check "naive" true (Naive.valid t);
+        check "cegar" true (Cegar.valid t));
+    Alcotest.test_case "exists-forall dependence" `Quick (fun () ->
+        (* exists x forall y . x <-> y : invalid *)
+        let t =
+          Qbf.make ~prefix:Qbf.Exists_forall ~num_vars:2 ~block1:[ 0 ]
+            ~block2:[ 1 ]
+            ~matrix:Formula.(Iff (Atom 0, Atom 1))
+        in
+        check "naive" false (Naive.valid t);
+        check "cegar" false (Cegar.valid t));
+    Alcotest.test_case "forall-exists matching" `Quick (fun () ->
+        (* forall x exists y . x <-> y : valid *)
+        let t =
+          Qbf.make ~prefix:Qbf.Forall_exists ~num_vars:2 ~block1:[ 0 ]
+            ~block2:[ 1 ]
+            ~matrix:Formula.(Iff (Atom 0, Atom 1))
+        in
+        check "naive" true (Naive.valid t);
+        check "cegar" true (Cegar.valid t));
+    Alcotest.test_case "negation duality" `Quick (fun () ->
+        let t = gen_qbf 42 in
+        check "negate flips" true (Cegar.valid t <> Cegar.valid (Qbf.negate t)));
+    Alcotest.test_case "make rejects overlap" `Quick (fun () ->
+        check "overlap" true
+          (try
+             ignore
+               (Qbf.make ~prefix:Qbf.Exists_forall ~num_vars:2 ~block1:[ 0 ]
+                  ~block2:[ 0 ] ~matrix:(Formula.Atom 0));
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "make rejects free vars" `Quick (fun () ->
+        check "free" true
+          (try
+             ignore
+               (Qbf.make ~prefix:Qbf.Exists_forall ~num_vars:3 ~block1:[ 0 ]
+                  ~block2:[ 1 ] ~matrix:(Formula.Atom 2));
+             false
+           with Invalid_argument _ -> true));
+  ]
+
+let qcheck_cegar_agrees =
+  QCheck.Test.make ~count:500 ~name:"cegar agrees with truth-table QBF"
+    QCheck.(int_bound 99999)
+    (fun seed ->
+      let t = gen_qbf seed in
+      Cegar.valid t = Naive.valid t)
+
+let suites =
+  [
+    ("qbf.unit", unit_suite);
+    ("qbf.properties", [ QCheck_alcotest.to_alcotest qcheck_cegar_agrees ]);
+  ]

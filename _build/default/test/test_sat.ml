@@ -1,0 +1,327 @@
+open Ddb_logic
+open Ddb_sat
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Deterministic pseudo-random CNF generator for cross-checks. *)
+let gen_cnf rand ~num_vars ~num_clauses ~width =
+  List.init num_clauses (fun _ ->
+      let len = 1 + Random.State.int rand width in
+      List.init len (fun _ ->
+          let v = Random.State.int rand num_vars in
+          if Random.State.bool rand then Lit.Pos v else Lit.Neg v))
+
+let solver_suite =
+  [
+    Alcotest.test_case "trivial sat" `Quick (fun () ->
+        let s = Solver.of_clauses ~num_vars:2 [ [ Lit.Pos 0 ]; [ Lit.Neg 1 ] ] in
+        check "sat" true (Solver.solve s = Solver.Sat);
+        let m = Solver.model s in
+        check "model" true (Interp.mem m 0 && not (Interp.mem m 1)));
+    Alcotest.test_case "trivial unsat" `Quick (fun () ->
+        let s = Solver.of_clauses ~num_vars:1 [ [ Lit.Pos 0 ]; [ Lit.Neg 0 ] ] in
+        check "unsat" true (Solver.solve s = Solver.Unsat);
+        check "root" true (Solver.is_root_unsat s));
+    Alcotest.test_case "empty clause" `Quick (fun () ->
+        let s = Solver.of_clauses ~num_vars:1 [ [] ] in
+        check "unsat" true (Solver.solve s = Solver.Unsat));
+    Alcotest.test_case "no clauses" `Quick (fun () ->
+        let s = Solver.of_clauses ~num_vars:3 [] in
+        check "sat" true (Solver.solve s = Solver.Sat));
+    Alcotest.test_case "tautology dropped" `Quick (fun () ->
+        let s =
+          Solver.of_clauses ~num_vars:1 [ [ Lit.Pos 0; Lit.Neg 0 ]; [ Lit.Neg 0 ] ]
+        in
+        check "sat" true (Solver.solve s = Solver.Sat);
+        check "x false" false (Interp.mem (Solver.model s) 0));
+    Alcotest.test_case "pigeonhole 4-into-3 unsat" `Quick (fun () ->
+        (* p(i,j): pigeon i in hole j; i<4, j<3; var = 3*i + j *)
+        let v i j = (3 * i) + j in
+        let each_pigeon =
+          List.init 4 (fun i -> List.init 3 (fun j -> Lit.Pos (v i j)))
+        in
+        let no_collision =
+          List.concat_map
+            (fun j ->
+              List.concat_map
+                (fun i ->
+                  List.filter_map
+                    (fun i' ->
+                      if i' > i then Some [ Lit.Neg (v i j); Lit.Neg (v i' j) ]
+                      else None)
+                    (List.init 4 Fun.id))
+                (List.init 4 Fun.id))
+            (List.init 3 Fun.id)
+        in
+        let s = Solver.of_clauses ~num_vars:12 (each_pigeon @ no_collision) in
+        check "unsat" true (Solver.solve s = Solver.Unsat));
+    Alcotest.test_case "assumptions" `Quick (fun () ->
+        let s =
+          Solver.of_clauses ~num_vars:3
+            [ [ Lit.Neg 0; Lit.Pos 1 ]; [ Lit.Neg 1; Lit.Pos 2 ] ]
+        in
+        check "sat with a" true
+          (Solver.solve ~assumptions:[ Lit.Pos 0 ] s = Solver.Sat);
+        check "chained" true (Interp.mem (Solver.model s) 2);
+        check "conflicting assumptions" true
+          (Solver.solve ~assumptions:[ Lit.Pos 0; Lit.Neg 2 ] s = Solver.Unsat);
+        (* Solver still usable, instance still satisfiable. *)
+        check "recover" true (Solver.solve s = Solver.Sat));
+    Alcotest.test_case "incremental clause addition" `Quick (fun () ->
+        let s = Solver.of_clauses ~num_vars:2 [ [ Lit.Pos 0; Lit.Pos 1 ] ] in
+        check "sat" true (Solver.solve s = Solver.Sat);
+        Solver.add_clause s [ Lit.Neg 0 ];
+        check "still sat" true (Solver.solve s = Solver.Sat);
+        check "forced 1" true (Interp.mem (Solver.model s) 1);
+        Solver.add_clause s [ Lit.Neg 1 ];
+        check "now unsat" true (Solver.solve s = Solver.Unsat));
+    Alcotest.test_case "add_formula (Tseitin)" `Quick (fun () ->
+        let f =
+          Formula.Iff (Formula.Atom 0, Formula.Not (Formula.Atom 1))
+        in
+        let s = Solver.create ~num_vars:2 () in
+        let _next = Solver.add_formula s ~next_var:2 f in
+        check "sat" true (Solver.solve s = Solver.Sat);
+        let m = Solver.model ~universe:2 s in
+        check "xor holds" true (Interp.mem m 0 <> Interp.mem m 1));
+    Alcotest.test_case "model projection" `Quick (fun () ->
+        let s = Solver.of_clauses ~num_vars:5 [ [ Lit.Pos 4 ] ] in
+        check "sat" true (Solver.solve s = Solver.Sat);
+        check_int "universe" 2 (Interp.universe_size (Solver.model ~universe:2 s)));
+  ]
+
+(* Property: CDCL agrees with the truth-table engine on satisfiability, and
+   when Sat the returned model really satisfies the clauses. *)
+let qcheck_solver_agrees =
+  QCheck.Test.make ~count:500 ~name:"cdcl agrees with truth table"
+    QCheck.(triple (int_bound 9999) (int_range 1 6) (int_range 0 20))
+    (fun (seed, num_vars, num_clauses) ->
+      let rand = Random.State.make [| seed |] in
+      let cnf = gen_cnf rand ~num_vars ~num_clauses ~width:3 in
+      let expected = Brute.is_sat ~num_vars cnf in
+      let solver = Solver.of_clauses ~num_vars cnf in
+      let got = Solver.solve solver = Solver.Sat in
+      if got <> expected then false
+      else if got then Brute.satisfies (Solver.model solver) cnf
+      else true)
+
+let qcheck_dpll_agrees =
+  QCheck.Test.make ~count:300 ~name:"naive dpll agrees with truth table"
+    QCheck.(triple (int_bound 9999) (int_range 1 6) (int_range 0 16))
+    (fun (seed, num_vars, num_clauses) ->
+      let rand = Random.State.make [| seed |] in
+      let cnf = gen_cnf rand ~num_vars ~num_clauses ~width:3 in
+      Dpll.is_sat ~num_vars cnf = Brute.is_sat ~num_vars cnf)
+
+let qcheck_assumptions_sound =
+  QCheck.Test.make ~count:300 ~name:"assumptions = added units"
+    QCheck.(triple (int_bound 9999) (int_range 2 6) (int_range 0 14))
+    (fun (seed, num_vars, num_clauses) ->
+      let rand = Random.State.make [| seed |] in
+      let cnf = gen_cnf rand ~num_vars ~num_clauses ~width:3 in
+      let assumption =
+        if Random.State.bool rand then Lit.Pos 0 else Lit.Neg 0
+      in
+      let with_assumption =
+        let s = Solver.of_clauses ~num_vars cnf in
+        Solver.solve ~assumptions:[ assumption ] s = Solver.Sat
+      in
+      let with_unit =
+        Brute.is_sat ~num_vars ([ assumption ] :: cnf)
+      in
+      with_assumption = with_unit)
+
+let enum_suite =
+  [
+    Alcotest.test_case "all models of a v b" `Quick (fun () ->
+        let ms = Enum.all_models ~num_vars:2 [ [ Lit.Pos 0; Lit.Pos 1 ] ] in
+        check_int "3 models" 3 (List.length ms));
+    Alcotest.test_case "projection dedupes" `Quick (fun () ->
+        (* var 2 is free; projecting to 2 vars must not duplicate *)
+        let solver = Solver.of_clauses ~num_vars:3 [ [ Lit.Pos 0 ] ] in
+        let seen = ref [] in
+        Enum.iter ~universe:2 solver (fun m ->
+            seen := m :: !seen;
+            `Continue);
+        check_int "2 projections" 2 (List.length !seen);
+        check "distinct" true
+          (match !seen with [ a; b ] -> not (Interp.equal a b) | _ -> false));
+    Alcotest.test_case "limit respected" `Quick (fun () ->
+        let ms = Enum.all_models ~limit:2 ~num_vars:4 [] in
+        check_int "limited" 2 (List.length ms));
+    Alcotest.test_case "unsat enumerates nothing" `Quick (fun () ->
+        check_int "none" 0
+          (List.length (Enum.all_models ~num_vars:1 [ [ Lit.Pos 0 ]; [ Lit.Neg 0 ] ])));
+  ]
+
+let qcheck_enum_complete =
+  QCheck.Test.make ~count:200 ~name:"enumeration matches truth table"
+    QCheck.(triple (int_bound 9999) (int_range 1 5) (int_range 0 10))
+    (fun (seed, num_vars, num_clauses) ->
+      let rand = Random.State.make [| seed |] in
+      let cnf = gen_cnf rand ~num_vars ~num_clauses ~width:3 in
+      let by_enum =
+        List.sort Interp.compare (Enum.all_models ~num_vars cnf)
+      in
+      let by_brute = List.sort Interp.compare (Brute.models ~num_vars cnf) in
+      List.length by_enum = List.length by_brute
+      && List.for_all2 Interp.equal by_enum by_brute)
+
+let horn_suite =
+  [
+    Alcotest.test_case "least model chain" `Quick (fun () ->
+        let rules =
+          [
+            Horn.rule ~head:0 ~body:[];
+            Horn.rule ~head:1 ~body:[ 0 ];
+            Horn.rule ~head:2 ~body:[ 0; 1 ];
+            Horn.rule ~head:3 ~body:[ 4 ];
+          ]
+        in
+        let m = Horn.least_model ~num_vars:5 rules in
+        check "0,1,2 in" true
+          (Interp.mem m 0 && Interp.mem m 1 && Interp.mem m 2);
+        check "3,4 out" true (not (Interp.mem m 3) && not (Interp.mem m 4)));
+    Alcotest.test_case "least model is least" `Quick (fun () ->
+        (* every model of the definite program contains the least model *)
+        let rules =
+          [ Horn.rule ~head:0 ~body:[]; Horn.rule ~head:1 ~body:[ 0 ] ]
+        in
+        let lm = Horn.least_model ~num_vars:3 rules in
+        let clauses =
+          List.map
+            (fun (r : Horn.rule) ->
+              Lit.Pos r.head :: List.map (fun b -> Lit.Neg b) r.body)
+            rules
+        in
+        List.iter
+          (fun m ->
+            if Brute.satisfies m clauses then
+              check "contains lm" true (Interp.subset lm m))
+          (Interp.all 3));
+    Alcotest.test_case "integrity check" `Quick (fun () ->
+        let m = Interp.of_list 3 [ 0; 1 ] in
+        check "violated" false (Horn.integrity_ok m [ [ 0; 1 ] ]);
+        check "ok" true (Horn.integrity_ok m [ [ 0; 2 ] ]));
+    Alcotest.test_case "empty program" `Quick (fun () ->
+        check "empty" true
+          (Interp.is_empty (Horn.least_model ~num_vars:4 [])));
+  ]
+
+(* --- minimal models --- *)
+
+let minimal_reference ~num_vars clauses part =
+  let models = Brute.models ~num_vars clauses in
+  Minimal.minimal_of_models part models
+
+let minimal_suite =
+  [
+    Alcotest.test_case "minimal models of a v b" `Quick (fun () ->
+        let theory = Minimal.theory ~num_vars:2 [ [ Lit.Pos 0; Lit.Pos 1 ] ] in
+        let ms = List.sort Interp.compare (Minimal.all_minimal theory) in
+        check_int "two" 2 (List.length ms);
+        List.iter (fun m -> check_int "singletons" 1 (Interp.cardinal m)) ms);
+    Alcotest.test_case "is_minimal" `Quick (fun () ->
+        let theory = Minimal.theory ~num_vars:2 [ [ Lit.Pos 0; Lit.Pos 1 ] ] in
+        let part = Partition.minimize_all 2 in
+        check "{a} minimal" true
+          (Minimal.is_minimal theory part (Interp.of_list 2 [ 0 ]));
+        check "{a,b} not minimal" false
+          (Minimal.is_minimal theory part (Interp.of_list 2 [ 0; 1 ])));
+    Alcotest.test_case "minimize descends" `Quick (fun () ->
+        let theory = Minimal.theory ~num_vars:3 [ [ Lit.Pos 0; Lit.Pos 1 ] ] in
+        let part = Partition.minimize_all 3 in
+        let m = Minimal.minimize theory part (Interp.of_list 3 [ 0; 1; 2 ]) in
+        check "below" true (Interp.subset m (Interp.of_list 3 [ 0; 1; 2 ]));
+        check "minimal" true (Minimal.is_minimal theory part m));
+    Alcotest.test_case "find_minimal on inconsistent theory" `Quick (fun () ->
+        let theory = Minimal.theory ~num_vars:1 [ [ Lit.Pos 0 ]; [ Lit.Neg 0 ] ] in
+        check "none" true
+          (Minimal.find_minimal theory (Partition.minimize_all 1) = None));
+    Alcotest.test_case "(P;Z) minimality with fixed and floating atoms" `Quick
+      (fun () ->
+        (* theory: p v q (atoms p=0, fixed f=1, floating z=2); clause f -> z *)
+        let clauses = [ [ Lit.Pos 0 ]; [ Lit.Neg 1; Lit.Pos 2 ] ] in
+        let theory = Minimal.theory ~num_vars:3 clauses in
+        let part = Partition.of_lists 3 ~p:[ 0 ] ~q:[ 1 ] ~z:[ 2 ] in
+        (* {p,f,z} is minimal: p is forced, f fixed, z floats *)
+        check "minimal with fixed" true
+          (Minimal.is_minimal theory part (Interp.of_list 3 [ 0; 1; 2 ]));
+        check "minimal without fixed" true
+          (Minimal.is_minimal theory part (Interp.of_list 3 [ 0 ])));
+    Alcotest.test_case "find_minimal_such_that" `Quick (fun () ->
+        (* a v b, want a minimal model containing b *)
+        let theory = Minimal.theory ~num_vars:2 [ [ Lit.Pos 0; Lit.Pos 1 ] ] in
+        let part = Partition.minimize_all 2 in
+        (match
+           Minimal.find_minimal_such_that ~extra:[ [ Lit.Pos 1 ] ] theory part
+         with
+        | Some m ->
+          check "contains b" true (Interp.mem m 1);
+          check "is minimal" true (Minimal.is_minimal theory part m)
+        | None -> Alcotest.fail "expected a witness");
+        (* no minimal model contains both a and b *)
+        check "none with both" true
+          (Minimal.find_minimal_such_that
+             ~extra:[ [ Lit.Pos 0 ]; [ Lit.Pos 1 ] ]
+             theory part
+          = None));
+  ]
+
+let qcheck_all_minimal_matches_reference =
+  QCheck.Test.make ~count:300 ~name:"all_minimal matches brute-force reference"
+    QCheck.(triple (int_bound 9999) (int_range 1 5) (int_range 0 10))
+    (fun (seed, num_vars, num_clauses) ->
+      let rand = Random.State.make [| seed |] in
+      let cnf = gen_cnf rand ~num_vars ~num_clauses ~width:3 in
+      let theory = Minimal.theory ~num_vars cnf in
+      let got = List.sort Interp.compare (Minimal.all_minimal theory) in
+      let expected =
+        List.sort Interp.compare
+          (minimal_reference ~num_vars cnf (Partition.minimize_all num_vars))
+      in
+      List.length got = List.length expected
+      && List.for_all2 Interp.equal got expected)
+
+let qcheck_is_minimal_matches_reference =
+  QCheck.Test.make ~count:300 ~name:"is_minimal matches reference under (P;Q;Z)"
+    QCheck.(pair (int_bound 9999) (int_range 2 5))
+    (fun (seed, num_vars) ->
+      let rand = Random.State.make [| seed |] in
+      let cnf = gen_cnf rand ~num_vars ~num_clauses:(num_vars * 2) ~width:3 in
+      (* random partition *)
+      let buckets = Array.init num_vars (fun _ -> Random.State.int rand 3) in
+      let pick k =
+        List.filter (fun v -> buckets.(v) = k) (List.init num_vars Fun.id)
+      in
+      let part =
+        Partition.of_lists num_vars ~p:(pick 0) ~q:(pick 1) ~z:(pick 2)
+      in
+      let models = Brute.models ~num_vars cnf in
+      let reference = minimal_reference ~num_vars cnf part in
+      let theory = Minimal.theory ~num_vars cnf in
+      List.for_all
+        (fun m ->
+          Minimal.is_minimal theory part m
+          = List.exists (Interp.equal m) reference)
+        models)
+
+let suites =
+  [
+    ("sat.solver", solver_suite);
+    ( "sat.solver.properties",
+      List.map QCheck_alcotest.to_alcotest
+        [ qcheck_solver_agrees; qcheck_dpll_agrees; qcheck_assumptions_sound ] );
+    ("sat.enum", enum_suite);
+    ( "sat.enum.properties",
+      [ QCheck_alcotest.to_alcotest qcheck_enum_complete ] );
+    ("sat.horn", horn_suite);
+    ("sat.minimal", minimal_suite);
+    ( "sat.minimal.properties",
+      List.map QCheck_alcotest.to_alcotest
+        [
+          qcheck_all_minimal_matches_reference;
+          qcheck_is_minimal_matches_reference;
+        ] );
+  ]
