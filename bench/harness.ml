@@ -284,3 +284,63 @@ let table2 () =
   print_table
     ~title:"Table 2: propositional DDBs (with integrity clauses)"
     ~setting:Classes.Table2 table2_cells
+
+(* ---- engine ablation: memoizing oracle engine vs the direct path ----
+
+   Same seeded workload run twice, once through a caching engine and once
+   through a cache-disabled one (which replicates the seed's fresh-solver
+   path).  The workload is the closed-world query pattern the engine is
+   built for: a full ± literal sweep plus a few formula queries per
+   database, repeated — exactly what a query front end does.  We report the
+   total SAT solve calls either way plus the cached engine's hit counts,
+   and emit the engine's stats record as JSON (schema in EXPERIMENTS.md). *)
+
+module Engine = Ddb_engine.Engine
+
+(* PDSM enumerates 3^V interpretations: keep its universe tiny. *)
+let engine_universe name = if name = "pdsm" then 4 else 10
+
+let engine_workload (s : Semantics.t) db =
+  let n = Db.num_vars db in
+  for _rep = 1 to 2 do
+    for x = 0 to n - 1 do
+      ignore (s.Semantics.infer_literal db (Lit.Neg x));
+      ignore (s.Semantics.infer_literal db (Lit.Pos x))
+    done;
+    ignore (s.Semantics.infer_formula db (random_query db));
+    ignore (s.Semantics.has_model db)
+  done
+
+let engine_comparison () =
+  Fmt.pr "@.=== Engine ablation: memoizing oracle engine (cached vs direct) ===@.";
+  Fmt.pr
+    "  (per semantics: 2 passes of a full ± literal sweep + formula query on \
+     one seeded DB; 'sat' = total SAT solve calls)@.";
+  let cached = Engine.create ~cache:true () in
+  let direct = Engine.create ~cache:false () in
+  let sat_of run =
+    let before = Ddb_sat.Stats.snapshot () in
+    run ();
+    (Ddb_sat.Stats.delta before).Ddb_sat.Stats.sat
+  in
+  let wins = ref 0 in
+  List.iter2
+    (fun (sc : Semantics.t) (sd : Semantics.t) ->
+      let name = sc.Semantics.name in
+      let db =
+        Random_db.positive ~seed:7 ~num_vars:(engine_universe name)
+      in
+      let sat_direct = sat_of (fun () -> engine_workload sd db) in
+      let sat_cached = sat_of (fun () -> engine_workload sc db) in
+      if sat_cached < sat_direct then incr wins;
+      Fmt.pr "  %-6s direct: %6d sat   cached: %6d sat   (%.1fx)@." name
+        sat_direct sat_cached
+        (if sat_cached > 0 then
+           float_of_int sat_direct /. float_of_int sat_cached
+         else Float.infinity))
+    (Registry.all_in cached) (Registry.all_in direct);
+  let t = Engine.totals cached in
+  Fmt.pr "  cached engine: %a@." Engine.pp_stats t;
+  Fmt.pr "  semantics with fewer SAT calls than the direct path: %d/%d@." !wins
+    (List.length Registry.names);
+  Fmt.pr "@.--- engine stats JSON ---@.%s@." (Engine.stats_json cached)

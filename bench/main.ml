@@ -3,6 +3,7 @@
      dune exec bench/main.exe              — run everything
      dune exec bench/main.exe -- table1    — only Table 1
      dune exec bench/main.exe -- table2    — only Table 2
+     dune exec bench/main.exe -- engine    — memoizing-engine ablation + stats JSON
      dune exec bench/main.exe -- oracle    — Σ₂-oracle log-vs-linear study
      dune exec bench/main.exe -- reductions
      dune exec bench/main.exe -- ablation
@@ -27,6 +28,7 @@ let () =
   in
   section "table1" Harness.table1;
   section "table2" Harness.table2;
+  section "engine" Harness.engine_comparison;
   section "oracle" Oracle_bench.run;
   section "reductions" Reduction_bench.run;
   section "ablation" Ablation.run;

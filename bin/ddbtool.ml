@@ -9,6 +9,7 @@ open Cmdliner
      ddbtool models db.ddb --semantics egcwa
      ddbtool query db.ddb --semantics gcwa --query "~c"
      ddbtool exists db.ddb --semantics dsm
+     ddbtool stats db.ddb [--no-cache]
      ddbtool semantics
 
    Database files use the clause syntax of Ddb_logic.Parse:
@@ -335,6 +336,74 @@ let path_arg =
     & pos 0 (some string) None
     & info [] ~docv:"FILE" ~doc:"Non-ground Datalog file (.dl).")
 
+(* --- stats --- *)
+
+module Engine = Ddb_engine.Engine
+
+(* Run the closed-world query workload (two passes of a full ± literal
+   sweep plus an existence check) through a memoizing oracle engine and
+   print the engine's per-semantics stats record as JSON.  --no-cache
+   replays the same workload on a cache-disabled engine (the direct
+   fresh-solver path) for ablation. *)
+let stats db sem_name no_cache =
+  let eng = Engine.create ~cache:(not no_cache) () in
+  Result.bind
+    (match sem_name with
+    | None -> Ok (Registry.all_in eng)
+    | Some name -> (
+      match Registry.find_in eng name with
+      | Some s -> Ok [ s ]
+      | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown semantics %S (try: %s)" name
+               (String.concat ", " Registry.names)))))
+  @@ fun sems ->
+  let n = Db.num_vars db in
+  let runnable (s : Semantics.t) =
+    (* PDSM enumerates 3^n partial interpretations — refuse big universes
+       unless asked for explicitly. *)
+    s.Semantics.applicable db
+    && (s.Semantics.name <> "pdsm" || n <= 8 || sem_name <> None)
+  in
+  let skipped, run = List.partition (fun s -> not (runnable s)) sems in
+  List.iter
+    (fun (s : Semantics.t) ->
+      for _pass = 1 to 2 do
+        for x = 0 to n - 1 do
+          ignore (s.Semantics.infer_literal db (Lit.Neg x));
+          ignore (s.Semantics.infer_literal db (Lit.Pos x))
+        done;
+        ignore (s.Semantics.has_model db)
+      done)
+    run;
+  List.iter
+    (fun (s : Semantics.t) ->
+      Fmt.epr "note: skipped %s (not applicable or universe too large)@."
+        s.Semantics.name)
+    skipped;
+  Fmt.pr "%s@." (Engine.stats_json eng);
+  Ok ()
+
+let stats_sem_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "s"; "semantics" ] ~docv:"SEM"
+        ~doc:
+          (Printf.sprintf
+             "Restrict the sweep to one semantics; one of: %s.  Default: \
+              every applicable semantics."
+             (String.concat ", " Registry.names)))
+
+let no_cache_flag =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ]
+        ~doc:
+          "Disable the engine's memo tables (ablation: the direct \
+           fresh-solver path, still instrumented).")
+
 (* --- semantics list --- *)
 
 let list_semantics () =
@@ -390,6 +459,17 @@ let count_cmd =
         (const (fun db sem brute -> handle (count db sem brute))
         $ db_arg $ semantics_arg $ brute_arg))
 
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Sweep all ± literal queries through the memoizing oracle engine \
+          and print its instrumentation record as JSON")
+    Term.(
+      ret
+        (const (fun db sem no_cache -> handle (stats db sem no_cache))
+        $ db_arg $ stats_sem_arg $ no_cache_flag))
+
 let semantics_cmd =
   Cmd.v (Cmd.info "semantics" ~doc:"List the available semantics")
     Term.(ret (const (fun () -> handle (list_semantics ())) $ const ()))
@@ -400,7 +480,7 @@ let main_cmd =
     (Cmd.info "ddbtool" ~version:"1.0.0" ~doc)
     [
       classify_cmd; models_cmd; query_cmd; exists_cmd; count_cmd; ground_cmd;
-      semantics_cmd;
+      stats_cmd; semantics_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

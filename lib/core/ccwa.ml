@@ -81,3 +81,49 @@ let semantics : Semantics.t =
     reference_models =
       (fun db -> reference_models db (Partition.minimize_all (Db.num_vars db)));
   }
+
+(* --- engine-routed path --- *)
+
+open Ddb_engine
+
+(* Public entry points scope themselves ("ccwa" bucket); nesting keeps
+   attributing to the outermost scope. *)
+let scope eng f = Engine.scoped eng "ccwa" f
+
+let negated_atoms_in eng db part =
+  scope eng (fun () -> Engine.negated_atoms eng db part)
+
+let entails_neg_literal_in eng db part x =
+  scope eng (fun () ->
+      if not (Interp.mem (Partition.p part) x) then
+        Engine.augmented_entails eng db
+          (negated_atoms_in eng db part)
+          (Formula.Not (Formula.Atom x))
+      else not (Engine.in_some_minimal eng db part x))
+
+let infer_formula_in eng db part f =
+  if Formula.max_atom f >= Partition.universe_size part then
+    invalid_arg "Ccwa.infer_formula_in: query atom outside the partition";
+  scope eng (fun () ->
+      Engine.augmented_entails eng db (negated_atoms_in eng db part) f)
+
+let infer_literal_in eng db part = function
+  | Lit.Neg x -> entails_neg_literal_in eng db part x
+  | Lit.Pos x ->
+    scope eng (fun () ->
+        Engine.augmented_entails eng db
+          (negated_atoms_in eng db part)
+          (Formula.Atom x))
+
+let semantics_in eng : Semantics.t =
+  {
+    semantics with
+    has_model = (fun db -> scope eng (fun () -> Engine.sat eng db));
+    infer_formula =
+      (fun db f ->
+        let db = Semantics.for_query db f in
+        infer_formula_in eng db (Partition.minimize_all (Db.num_vars db)) f);
+    infer_literal =
+      (fun db l ->
+        infer_literal_in eng db (Partition.minimize_all (Db.num_vars db)) l);
+  }

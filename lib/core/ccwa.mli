@@ -22,3 +22,14 @@ val semantics_with : Partition.t -> Semantics.t
 
 val semantics : Semantics.t
 (** Packed with the total partition ⟨V;∅;∅⟩ (= GCWA). *)
+
+(** Engine-routed variants (memoized support sets, shared solvers). *)
+
+val negated_atoms_in : Ddb_engine.Engine.t -> Db.t -> Partition.t -> Interp.t
+val entails_neg_literal_in :
+  Ddb_engine.Engine.t -> Db.t -> Partition.t -> int -> bool
+val infer_formula_in :
+  Ddb_engine.Engine.t -> Db.t -> Partition.t -> Formula.t -> bool
+val infer_literal_in :
+  Ddb_engine.Engine.t -> Db.t -> Partition.t -> Lit.t -> bool
+val semantics_in : Ddb_engine.Engine.t -> Semantics.t

@@ -132,3 +132,6 @@ let semantics : Semantics.t =
     reference_models =
       (fun db -> reference_models db (Partition.minimize_all (Db.num_vars db)));
   }
+
+(* Engine routing: answers memoized and instrumented per semantics. *)
+let semantics_in eng = Semantics.via_engine eng semantics

@@ -47,3 +47,33 @@ let semantics : Semantics.t =
     infer_literal;
     reference_models;
   }
+
+(* --- engine-routed path: the closure set {x : DB ⊭ x} is memoized per
+   theory and computed with assumption solves on the shared solver. --- *)
+
+open Ddb_engine
+
+(* Public entry points scope themselves ("cwa" bucket). *)
+let scope eng f = Engine.scoped eng "cwa" f
+
+let negated_atoms_in eng db =
+  scope eng (fun () -> Engine.non_entailed_atoms eng db)
+
+let has_model_in eng db =
+  scope eng (fun () ->
+      Engine.augmented_has_model eng db (negated_atoms_in eng db))
+
+let infer_formula_in eng db f =
+  scope eng (fun () ->
+      let db = Semantics.for_query db f in
+      Engine.augmented_entails eng db (negated_atoms_in eng db) f)
+
+let infer_literal_in eng db l = infer_formula_in eng db (Formula.of_lit l)
+
+let semantics_in eng : Semantics.t =
+  {
+    semantics with
+    has_model = has_model_in eng;
+    infer_formula = infer_formula_in eng;
+    infer_literal = infer_literal_in eng;
+  }

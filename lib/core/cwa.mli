@@ -11,3 +11,11 @@ val infer_formula : Db.t -> Formula.t -> bool
 val infer_literal : Db.t -> Lit.t -> bool
 val reference_models : Db.t -> Interp.t list
 val semantics : Semantics.t
+
+(** Engine-routed variants: the closure set is memoized per theory. *)
+
+val negated_atoms_in : Ddb_engine.Engine.t -> Db.t -> Interp.t
+val has_model_in : Ddb_engine.Engine.t -> Db.t -> bool
+val infer_formula_in : Ddb_engine.Engine.t -> Db.t -> Formula.t -> bool
+val infer_literal_in : Ddb_engine.Engine.t -> Db.t -> Lit.t -> bool
+val semantics_in : Ddb_engine.Engine.t -> Semantics.t

@@ -80,3 +80,39 @@ let semantics : Semantics.t =
     infer_literal;
     reference_models;
   }
+
+(* --- engine-routed path ---
+
+   The occurrence closure is polynomial and stays direct; only the SAT-call
+   cells (entailment from the augmented theory, existence with integrity
+   clauses) go through the engine. *)
+
+open Ddb_engine
+
+(* Public entry points scope themselves ("ddr" bucket); the polynomial
+   occurrence-closure cells stay outside the engine and unscoped. *)
+let scope eng f = Engine.scoped eng "ddr" f
+
+let infer_formula_in eng db f =
+  check db;
+  scope eng (fun () ->
+      let db = Semantics.for_query db f in
+      Engine.augmented_entails eng db (negated_atoms db) f)
+
+let infer_literal_in eng db l =
+  match l with
+  | Lit.Neg x when not (Db.has_integrity db) -> entails_neg_literal_poly db x
+  | Lit.Neg _ | Lit.Pos _ -> infer_formula_in eng db (Formula.of_lit l)
+
+let has_model_in eng db =
+  check db;
+  if not (Db.has_integrity db) then true
+  else scope eng (fun () -> Engine.augmented_has_model eng db (negated_atoms db))
+
+let semantics_in eng : Semantics.t =
+  {
+    semantics with
+    has_model = has_model_in eng;
+    infer_formula = infer_formula_in eng;
+    infer_literal = infer_literal_in eng;
+  }

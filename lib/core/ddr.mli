@@ -23,3 +23,11 @@ val has_model : Db.t -> bool
 val reference_models : Db.t -> Interp.t list
 val occurring_reference : Db.t -> Interp.t
 val semantics : Semantics.t
+
+(** Engine-routed variants; the polynomial occurrence-closure cells stay
+    oracle-free, only the SAT-call cells go through the engine. *)
+
+val infer_formula_in : Ddb_engine.Engine.t -> Db.t -> Formula.t -> bool
+val infer_literal_in : Ddb_engine.Engine.t -> Db.t -> Lit.t -> bool
+val has_model_in : Ddb_engine.Engine.t -> Db.t -> bool
+val semantics_in : Ddb_engine.Engine.t -> Semantics.t

@@ -72,3 +72,6 @@ let semantics : Semantics.t =
     infer_literal;
     reference_models;
   }
+
+(* Engine routing: answers memoized and instrumented per semantics. *)
+let semantics_in eng = Semantics.via_engine eng semantics

@@ -19,3 +19,6 @@ val has_model : Db.t -> bool
 val stable_models : ?limit:int -> Db.t -> Interp.t list
 val reference_models : Db.t -> Interp.t list
 val semantics : Semantics.t
+
+val semantics_in : Ddb_engine.Engine.t -> Semantics.t
+(** Routed through the memoizing oracle engine ({!Semantics.via_engine}). *)

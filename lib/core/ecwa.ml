@@ -49,3 +49,34 @@ let semantics : Semantics.t =
     reference_models =
       (fun db -> reference_models db (Partition.minimize_all (Db.num_vars db)));
   }
+
+(* --- engine-routed path --- *)
+
+open Ddb_engine
+
+(* Public entry points scope themselves ("ecwa" bucket). *)
+let scope eng f = Engine.scoped eng "ecwa" f
+
+let infer_formula_in eng db part f =
+  if Formula.max_atom f >= Partition.universe_size part then
+    invalid_arg "Ecwa.infer_formula_in: query atom outside the partition";
+  scope eng (fun () -> Engine.minimal_entails ~part eng db f)
+
+let infer_literal_in eng db part l =
+  infer_formula_in eng db part (Formula.of_lit l)
+
+let semantics_in eng : Semantics.t =
+  {
+    semantics with
+    has_model =
+      (fun db ->
+        scope eng (fun () ->
+            if Db.is_positive_ddb db then true else Engine.sat eng db));
+    infer_formula =
+      (fun db f ->
+        let db = Semantics.for_query db f in
+        infer_formula_in eng db (Partition.minimize_all (Db.num_vars db)) f);
+    infer_literal =
+      (fun db l ->
+        infer_literal_in eng db (Partition.minimize_all (Db.num_vars db)) l);
+  }

@@ -11,3 +11,11 @@ val has_model : Db.t -> bool
 val reference_models : Db.t -> Partition.t -> Interp.t list
 val semantics_with : Partition.t -> Semantics.t
 val semantics : Semantics.t
+
+(** Engine-routed variants (memoized minimal-model entailment). *)
+
+val infer_formula_in :
+  Ddb_engine.Engine.t -> Db.t -> Partition.t -> Formula.t -> bool
+val infer_literal_in :
+  Ddb_engine.Engine.t -> Db.t -> Partition.t -> Lit.t -> bool
+val semantics_in : Ddb_engine.Engine.t -> Semantics.t

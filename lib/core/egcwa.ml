@@ -41,3 +41,29 @@ let semantics : Semantics.t =
     infer_literal;
     reference_models;
   }
+
+(* --- engine-routed path --- *)
+
+open Ddb_engine
+
+(* Public entry points scope themselves ("egcwa" bucket). *)
+let scope eng f = Engine.scoped eng "egcwa" f
+
+let infer_formula_in eng db f =
+  scope eng (fun () ->
+      let db = Semantics.for_query db f in
+      Engine.minimal_entails eng db f)
+
+let infer_literal_in eng db l = infer_formula_in eng db (Formula.of_lit l)
+
+let has_model_in eng db =
+  if Db.is_positive_ddb db then true
+  else scope eng (fun () -> Engine.sat eng db)
+
+let semantics_in eng : Semantics.t =
+  {
+    semantics with
+    has_model = has_model_in eng;
+    infer_formula = infer_formula_in eng;
+    infer_literal = infer_literal_in eng;
+  }

@@ -16,3 +16,10 @@ val entailed_integrity_clause : Db.t -> int list -> bool
     (true in every minimal model)? *)
 
 val semantics : Semantics.t
+
+(** Engine-routed variants (memoized minimal-model entailment). *)
+
+val infer_formula_in : Ddb_engine.Engine.t -> Db.t -> Formula.t -> bool
+val infer_literal_in : Ddb_engine.Engine.t -> Db.t -> Lit.t -> bool
+val has_model_in : Ddb_engine.Engine.t -> Db.t -> bool
+val semantics_in : Ddb_engine.Engine.t -> Semantics.t

@@ -68,3 +68,39 @@ let semantics : Semantics.t =
     infer_literal;
     reference_models;
   }
+
+(* --- engine-routed path --- *)
+
+open Ddb_engine
+
+(* Every public entry point scopes itself, so solver effort is attributed
+   to the "gcwa" bucket no matter how the engine path is reached; nested
+   scopes keep attributing to the outermost one. *)
+let scope eng f = Engine.scoped eng "gcwa" f
+
+let negated_atoms_in eng db =
+  scope eng (fun () -> Engine.negated_atoms eng db (part db))
+
+let entails_neg_literal_in eng db x =
+  if x >= Db.num_vars db then true
+  else scope eng (fun () -> not (Engine.in_some_minimal eng db (part db) x))
+
+let infer_literal_in eng db = function
+  | Lit.Pos x ->
+    scope eng (fun () ->
+        Engine.augmented_entails eng db (negated_atoms_in eng db)
+          (Formula.Atom x))
+  | Lit.Neg x -> entails_neg_literal_in eng db x
+
+let infer_formula_in eng db f =
+  scope eng (fun () ->
+      let db = Semantics.for_query db f in
+      Engine.augmented_entails eng db (negated_atoms_in eng db) f)
+
+let semantics_in eng : Semantics.t =
+  {
+    semantics with
+    has_model = (fun db -> scope eng (fun () -> Engine.sat eng db));
+    infer_formula = infer_formula_in eng;
+    infer_literal = infer_literal_in eng;
+  }

@@ -20,3 +20,13 @@ val infer_formula : Db.t -> Formula.t -> bool
 val has_model : Db.t -> bool
 val reference_models : Db.t -> Interp.t list
 val semantics : Semantics.t
+
+(** Engine-routed variants: support sets and entailment run through the
+    memoizing oracle engine (shared incremental solver, per-theory caches).
+    With a cache-disabled engine these replicate the direct path above. *)
+
+val negated_atoms_in : Ddb_engine.Engine.t -> Db.t -> Interp.t
+val entails_neg_literal_in : Ddb_engine.Engine.t -> Db.t -> int -> bool
+val infer_literal_in : Ddb_engine.Engine.t -> Db.t -> Lit.t -> bool
+val infer_formula_in : Ddb_engine.Engine.t -> Db.t -> Formula.t -> bool
+val semantics_in : Ddb_engine.Engine.t -> Semantics.t

@@ -22,6 +22,16 @@ val gcwa_formula : Db.t -> Formula.t -> report
 
 val ccwa_formula : Db.t -> Partition.t -> Formula.t -> report
 
+val entails_log_in :
+  Ddb_engine.Engine.t -> Db.t -> Partition.t -> Formula.t -> report
+(** [entails_log] with the Σ₂ᵖ oracle realized by the memoizing engine: the
+    same query count, but the oracle's internal support-set work is shared
+    across calls on the same database. *)
+
+val gcwa_formula_in : Ddb_engine.Engine.t -> Db.t -> Formula.t -> report
+val ccwa_formula_in :
+  Ddb_engine.Engine.t -> Db.t -> Partition.t -> Formula.t -> report
+
 val log_bound : int -> int
 (** Upper bound on the log algorithms' query count for a universe of the
     given size. *)

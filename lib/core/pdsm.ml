@@ -172,3 +172,6 @@ let semantics : Semantics.t =
        the full 3-valued picture. *)
     reference_models;
   }
+
+(* Engine routing: answers memoized and instrumented per semantics. *)
+let semantics_in eng = Semantics.via_engine eng semantics

@@ -29,3 +29,6 @@ val reference_models : Db.t -> Interp.t list
 (** The {e total} partial stable models, as 2-valued interpretations. *)
 
 val semantics : Semantics.t
+
+val semantics_in : Ddb_engine.Engine.t -> Semantics.t
+(** Routed through the memoizing oracle engine ({!Semantics.via_engine}). *)

@@ -20,3 +20,6 @@ val infer_literal : Db.t -> Lit.t -> bool
 val has_model : Db.t -> bool
 val reference_models : Db.t -> Interp.t list
 val semantics : Semantics.t
+
+val semantics_in : Ddb_engine.Engine.t -> Semantics.t
+(** Routed through the memoizing oracle engine ({!Semantics.via_engine}). *)

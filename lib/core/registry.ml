@@ -2,7 +2,14 @@
 
    The partition-parametric semantics (CCWA, ECWA, ICWA) appear with their
    canonical total partition ⟨V;∅;∅⟩; use their modules directly for custom
-   partitions. *)
+   partitions.
+
+   Two families are exposed: [all] packs the direct decision procedures
+   (fresh solvers per query — the paper's algorithms verbatim), [all_in eng]
+   routes every semantics through the given memoizing oracle engine (shared
+   incremental solvers, per-theory caches, per-semantics instrumentation).
+   A cache-disabled engine makes [all_in] behave like [all], which is what
+   the cache-soundness tests compare. *)
 
 let all : Semantics.t list =
   [
@@ -20,9 +27,26 @@ let all : Semantics.t list =
     Pdsm.semantics;
   ]
 
-let find name =
-  List.find_opt
-    (fun (s : Semantics.t) -> String.equal s.Semantics.name name)
-    all
+let all_in eng : Semantics.t list =
+  [
+    Cwa.semantics_in eng;
+    Gcwa.semantics_in eng;
+    Ddr.semantics_in eng;
+    Pws.semantics_in eng;
+    Egcwa.semantics_in eng;
+    Ccwa.semantics_in eng;
+    Ecwa.semantics_in eng;
+    Circ.semantics_in eng;
+    Icwa.semantics_in eng;
+    Perf.semantics_in eng;
+    Dsm.semantics_in eng;
+    Pdsm.semantics_in eng;
+  ]
+
+let find_among sems name =
+  List.find_opt (fun (s : Semantics.t) -> String.equal s.Semantics.name name) sems
+
+let find name = find_among all name
+let find_in eng name = find_among (all_in eng) name
 
 let names = List.map (fun (s : Semantics.t) -> s.Semantics.name) all

@@ -2,5 +2,13 @@
     total partition ⟨V;∅;∅⟩). *)
 
 val all : Semantics.t list
+(** Direct decision procedures — a fresh solver per query. *)
+
+val all_in : Ddb_engine.Engine.t -> Semantics.t list
+(** Every semantics routed through the given memoizing oracle engine.
+    With a cache-disabled engine this is observably equivalent to {!all}
+    (the cache-soundness property the test suite checks). *)
+
 val find : string -> Semantics.t option
+val find_in : Ddb_engine.Engine.t -> string -> Semantics.t option
 val names : string list

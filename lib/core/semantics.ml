@@ -39,3 +39,30 @@ let reference_has_model models db = models db <> []
 (* Pad the database universe so that query atoms beyond it are legal. *)
 let for_query db f =
   Db.with_universe db (max (Db.num_vars db) (Formula.max_atom f + 1))
+
+(* Route a semantics through the memoizing oracle engine without
+   decomposing its decision procedure: every decision problem is scoped
+   (instrumented per semantics) and its answer memoized under the
+   database's canonical key.  Semantics whose procedures the engine does
+   decompose (the closed-world family) define richer [semantics_in]
+   versions in their own modules instead. *)
+let via_engine eng (s : t) : t =
+  let open Ddb_engine in
+  {
+    s with
+    has_model =
+      (fun db ->
+        Engine.scoped eng s.name (fun () ->
+            Engine.cached_bool eng ~sem:s.name ~op:"exists" db (fun () ->
+                s.has_model db)));
+    infer_formula =
+      (fun db f ->
+        Engine.scoped eng s.name (fun () ->
+            Engine.cached_bool eng ~sem:s.name ~op:"formula" ~formula:f db
+              (fun () -> s.infer_formula db f)));
+    infer_literal =
+      (fun db l ->
+        Engine.scoped eng s.name (fun () ->
+            Engine.cached_bool eng ~sem:s.name ~op:"literal"
+              ~formula:(formula_of_lit l) db (fun () -> s.infer_literal db l)));
+  }

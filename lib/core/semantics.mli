@@ -28,4 +28,12 @@ val reference_has_model : (Db.t -> Interp.t list) -> Db.t -> bool
 val for_query : Db.t -> Formula.t -> Db.t
 (** Pad the database universe so every query atom is a legal atom id. *)
 
+val via_engine : Ddb_engine.Engine.t -> t -> t
+(** Route the semantics through the memoizing oracle engine: each decision
+    problem runs inside an {!Ddb_engine.Engine.scoped} bucket named after
+    the semantics and its answer is memoized under the database's canonical
+    key.  Used by the modules whose procedures the engine does not
+    decompose; the closed-world family defines deeper [semantics_in]
+    integrations instead. *)
+
 val formula_of_lit : Lit.t -> Formula.t

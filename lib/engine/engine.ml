@@ -1,0 +1,534 @@
+open Ddb_logic
+open Ddb_sat
+open Ddb_db
+
+(* The shared memoizing oracle engine.
+
+   Every semantics of the paper bottoms out in the same primitive oracle
+   queries — satisfiability of the (possibly augmented) database, minimal-
+   model checks, support-set computation, minimal-model enumeration.  The
+   modules in lib/core each re-derive these from scratch per query; this
+   engine is the shared context they can route through instead:
+
+     - theories are *canonicalized* (clauses sorted and deduplicated) and
+       hash-consed into integer keys, so syntactically shuffled copies of
+       the same database share one cache line;
+     - each theory key fronts a single incremental {!Solver.t}; entailment
+       and consistency queries run on it under assumptions (closed-world
+       literals, the Tseitin output of a negated query) instead of
+       rebuilding a solver per query, so learned clauses accumulate;
+     - results of the expensive oracles (support sets, minimal-model
+       enumerations, entailment answers, per-semantics decision answers)
+       are memoized per canonical key;
+     - every operation is instrumented: oracle calls, cache hits/misses,
+       and — through {!Stats} — SAT solve calls, conflicts, decisions,
+       propagations and wall time, attributable per semantics via
+       {!scoped}.
+
+   An engine created with [~cache:false] bypasses the memo tables *and* the
+   shared solvers, replicating the original direct path of lib/core bit for
+   bit — that is the ablation baseline the cache-soundness tests and the
+   bench harness compare against. *)
+
+(* ------------------------------------------------------------------ *)
+(* Counters and stats                                                  *)
+
+type counters = {
+  mutable oracle_calls : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable sat_calls : int;
+  mutable sigma2_calls : int;
+  mutable conflicts : int;
+  mutable decisions : int;
+  mutable propagations : int;
+  mutable time_ms : float;
+}
+
+let fresh_counters () =
+  {
+    oracle_calls = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    sat_calls = 0;
+    sigma2_calls = 0;
+    conflicts = 0;
+    decisions = 0;
+    propagations = 0;
+    time_ms = 0.;
+  }
+
+let add_snapshot c (d : Stats.snapshot) dt =
+  c.sat_calls <- c.sat_calls + d.Stats.sat;
+  c.sigma2_calls <- c.sigma2_calls + d.Stats.sigma2;
+  c.conflicts <- c.conflicts + d.Stats.conflicts;
+  c.decisions <- c.decisions + d.Stats.decisions;
+  c.propagations <- c.propagations + d.Stats.propagations;
+  c.time_ms <- c.time_ms +. dt
+
+(* ------------------------------------------------------------------ *)
+(* Canonical theory keys                                               *)
+
+(* A theory is keyed by its universe size and its canonicalized clause set:
+   packed literals sorted within each clause, clauses sorted and deduped.
+   Syntactic permutations of the same database therefore share a key. *)
+type raw_key = int * int list list
+
+let canonical_of_db db : raw_key =
+  let clause lits =
+    List.sort_uniq Int.compare (List.map Cnf.plit_of_lit lits)
+  in
+  let clauses =
+    List.sort_uniq (List.compare Int.compare)
+      (List.map clause (Db.to_cnf db))
+  in
+  (Db.num_vars db, clauses)
+
+(* Per-theory shared solver: the theory clauses plus, over time, Tseitin
+   definitions for queried formulas (activated only by assuming their
+   output literal — definitional clauses never constrain the original
+   atoms) and the solver's own learned clauses. *)
+type theory_state = {
+  solver : Solver.t;
+  mutable next_var : int;
+  (* Tseitin output literal per already-encoded formula, so a repeated
+     query re-uses its encoding instead of growing the solver. *)
+  encoded : (Formula.t, Lit.t) Hashtbl.t;
+}
+
+(* Memo keys for the oracle caches.  Structural equality on formulas and
+   int lists; partitions are keyed by their (P, Q) member lists. *)
+type qkey = {
+  theory : int;
+  op : string;
+  negs : int list;
+  sect : int list * int list;
+  form : Formula.t option;
+  arg : int;
+}
+
+let qkey ?(negs = []) ?part ?form ?(arg = -1) theory op =
+  let sect =
+    match part with
+    | None -> ([], [])
+    | Some p -> (Interp.to_list (Partition.p p), Interp.to_list (Partition.q p))
+  in
+  { theory; op; negs; sect; form; arg }
+
+type t = {
+  mutable cache : bool;
+  total : counters;
+  per_scope : (string, counters) Hashtbl.t;
+  mutable scope : (string * counters) option;
+  keys : (raw_key, int) Hashtbl.t;
+  mutable next_key : int;
+  solvers : (int, theory_state) Hashtbl.t;
+  bools : (qkey, bool) Hashtbl.t;
+  interps : (qkey, Interp.t) Hashtbl.t;
+  model_lists : (qkey, Interp.t list) Hashtbl.t;
+}
+
+let create ?(cache = true) () =
+  {
+    cache;
+    total = fresh_counters ();
+    per_scope = Hashtbl.create 16;
+    scope = None;
+    keys = Hashtbl.create 64;
+    next_key = 0;
+    solvers = Hashtbl.create 64;
+    bools = Hashtbl.create 256;
+    interps = Hashtbl.create 64;
+    model_lists = Hashtbl.create 64;
+  }
+
+let default = create ()
+
+let set_cache t flag = t.cache <- flag
+let cache_enabled t = t.cache
+
+let reset t =
+  Hashtbl.reset t.per_scope;
+  t.scope <- None;
+  Hashtbl.reset t.keys;
+  t.next_key <- 0;
+  Hashtbl.reset t.solvers;
+  Hashtbl.reset t.bools;
+  Hashtbl.reset t.interps;
+  Hashtbl.reset t.model_lists;
+  let c = t.total in
+  c.oracle_calls <- 0;
+  c.cache_hits <- 0;
+  c.cache_misses <- 0;
+  c.sat_calls <- 0;
+  c.sigma2_calls <- 0;
+  c.conflicts <- 0;
+  c.decisions <- 0;
+  c.propagations <- 0;
+  c.time_ms <- 0.
+
+let theory_key t db =
+  let raw = canonical_of_db db in
+  match Hashtbl.find_opt t.keys raw with
+  | Some id -> id
+  | None ->
+    let id = t.next_key in
+    t.next_key <- id + 1;
+    Hashtbl.add t.keys raw id;
+    id
+
+let theory_state t db key =
+  match Hashtbl.find_opt t.solvers key with
+  | Some st -> st
+  | None ->
+    let st =
+      {
+        solver = Db.solver db;
+        next_var = Db.num_vars db;
+        encoded = Hashtbl.create 16;
+      }
+    in
+    Hashtbl.add t.solvers key st;
+    st
+
+(* ------------------------------------------------------------------ *)
+(* Instrumentation                                                     *)
+
+let bump f t =
+  f t.total;
+  match t.scope with None -> () | Some (_, c) -> f c
+
+let tick t = bump (fun c -> c.oracle_calls <- c.oracle_calls + 1) t
+let hit t = bump (fun c -> c.cache_hits <- c.cache_hits + 1) t
+let miss t = bump (fun c -> c.cache_misses <- c.cache_misses + 1) t
+
+let scope_counters t name =
+  match Hashtbl.find_opt t.per_scope name with
+  | Some c -> c
+  | None ->
+    let c = fresh_counters () in
+    Hashtbl.add t.per_scope name c;
+    c
+
+(* Run [f] attributing solver work and wall time to [name].  Nested scopes
+   keep attributing to the outermost one (a semantics calling into shared
+   machinery is still that semantics' work). *)
+let scoped t name f =
+  match t.scope with
+  | Some _ -> f ()
+  | None ->
+    let c = scope_counters t name in
+    t.scope <- Some (name, c);
+    let before = Stats.snapshot () in
+    let t0 = Unix.gettimeofday () in
+    Fun.protect
+      ~finally:(fun () ->
+        t.scope <- None;
+        let d = Stats.delta before in
+        let dt = (Unix.gettimeofday () -. t0) *. 1000. in
+        add_snapshot c d dt;
+        add_snapshot t.total d dt)
+      f
+
+(* ------------------------------------------------------------------ *)
+(* Memoization plumbing                                                *)
+
+let memo t tbl key compute =
+  if not t.cache then compute ()
+  else
+    match Hashtbl.find_opt tbl key with
+    | Some v ->
+      hit t;
+      v
+    | None ->
+      miss t;
+      let v = compute () in
+      Hashtbl.add tbl key v;
+      v
+
+(* ------------------------------------------------------------------ *)
+(* Direct (uncached) oracle implementations — the original lib/core     *)
+(* paths, reproduced here so a cache-disabled engine is the ablation    *)
+(* baseline.                                                            *)
+
+let direct_support_set db part =
+  let theory = Db.theory db in
+  let p = Partition.p part in
+  let rec grow s =
+    let missing = Interp.diff p s in
+    if Interp.is_empty missing then s
+    else begin
+      let want_new =
+        [ Interp.fold (fun x acc -> Lit.Pos x :: acc) missing [] ]
+      in
+      match Minimal.find_minimal_such_that ~extra:want_new theory part with
+      | None -> s
+      | Some m -> grow (Interp.union s (Interp.inter m p))
+    end
+  in
+  grow (Interp.empty (Db.num_vars db))
+
+let direct_augmented_cnf db negs =
+  Db.to_cnf db @ Interp.fold (fun x acc -> [ Lit.Neg x ] :: acc) negs []
+
+let direct_augmented_entails db negs f =
+  let n = max (Db.num_vars db) (Formula.max_atom f + 1) in
+  let solver =
+    Solver.of_clauses ~num_vars:n
+      (direct_augmented_cnf (Db.with_universe db n) negs)
+  in
+  let _ = Solver.add_formula solver ~next_var:n (Formula.not_ f) in
+  match Solver.solve solver with Solver.Sat -> false | Solver.Unsat -> true
+
+let direct_augmented_has_model db negs =
+  let solver =
+    Solver.of_clauses ~num_vars:(Db.num_vars db) (direct_augmented_cnf db negs)
+  in
+  match Solver.solve solver with Solver.Sat -> true | Solver.Unsat -> false
+
+let direct_non_entailed_atoms db =
+  let n = Db.num_vars db in
+  let solver = Db.solver db in
+  Interp.of_pred n (fun x ->
+      match Solver.solve ~assumptions:[ Lit.Neg x ] solver with
+      | Solver.Sat -> true
+      | Solver.Unsat -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Shared-solver query plumbing (the cached path)                      *)
+
+(* The Tseitin output literal for [f] on the shared solver: encoded once,
+   activated per query by assuming it.  Definitional clauses only relate
+   fresh auxiliary variables to the original atoms, so adding them
+   permanently preserves the solver's theory. *)
+let encoded_formula st f =
+  match Hashtbl.find_opt st.encoded f with
+  | Some out -> out
+  | None ->
+    let clauses, next', out = Cnf.tseitin ~next_var:st.next_var f in
+    Solver.ensure_vars st.solver next';
+    List.iter (Solver.add_clause st.solver) clauses;
+    st.next_var <- next';
+    Hashtbl.add st.encoded f out;
+    out
+
+let neg_assumptions negs = Interp.fold (fun x acc -> Lit.Neg x :: acc) negs []
+
+(* ------------------------------------------------------------------ *)
+(* Public oracle operations                                            *)
+
+(* DB consistency: one (shared-solver) SAT call. *)
+let sat t db =
+  tick t;
+  if not t.cache then Models.has_model db
+  else begin
+    let key = theory_key t db in
+    memo t t.bools (qkey key "sat") (fun () ->
+        let st = theory_state t db key in
+        match Solver.solve st.solver with
+        | Solver.Sat -> true
+        | Solver.Unsat -> false)
+  end
+
+(* DB ∪ {¬x : x ∈ negs} has a model: negation set as assumptions. *)
+let augmented_has_model t db negs =
+  tick t;
+  if not t.cache then direct_augmented_has_model db negs
+  else begin
+    let key = theory_key t db in
+    memo t t.bools
+      (qkey ~negs:(Interp.to_list negs) key "aug_sat")
+      (fun () ->
+        let st = theory_state t db key in
+        match Solver.solve ~assumptions:(neg_assumptions negs) st.solver with
+        | Solver.Sat -> true
+        | Solver.Unsat -> false)
+  end
+
+(* DB ∪ {¬x : x ∈ negs} ⊨ F: assume the Tseitin output of ¬F plus the
+   negation literals; entailment iff Unsat. *)
+let augmented_entails t db negs f =
+  tick t;
+  let n = max (Db.num_vars db) (Formula.max_atom f + 1) in
+  let db = Db.with_universe db n in
+  if not t.cache then direct_augmented_entails db negs f
+  else begin
+    let key = theory_key t db in
+    memo t t.bools
+      (qkey ~negs:(Interp.to_list negs) ~form:f key "aug_entails")
+      (fun () ->
+        let st = theory_state t db key in
+        let out = encoded_formula st (Formula.not_ f) in
+        let assumptions = out :: neg_assumptions negs in
+        match Solver.solve ~assumptions st.solver with
+        | Solver.Sat -> false
+        | Solver.Unsat -> true)
+  end
+
+(* Classical entailment DB ⊨ F. *)
+let entails t db f =
+  augmented_entails t db (Interp.empty (Db.num_vars db)) f
+
+(* The support set S = {x ∈ P : x true in some (P;Z)-minimal model} — the
+   closed-world family's central object, and the engine's biggest cache win:
+   GCWA/CCWA recompute it per query, here it is keyed by (theory, P, Q). *)
+let support_set t db part =
+  tick t;
+  if not t.cache then direct_support_set db part
+  else begin
+    let key = theory_key t db in
+    memo t t.interps (qkey ~part key "support") (fun () ->
+        direct_support_set db part)
+  end
+
+let negated_atoms t db part =
+  Interp.diff (Partition.p part) (support_set t db part)
+
+(* Is x true in some (P;Z)-minimal model?  Cached engines answer from the
+   memoized support set; direct engines issue the single constrained
+   minimal-model query of the original path.  (For x ∈ P the two agree by
+   definition of the support set.) *)
+let in_some_minimal t db part x =
+  if t.cache then Interp.mem (support_set t db part) x
+  else begin
+    tick t;
+    Option.is_some
+      (Minimal.find_minimal_such_that
+         ~extra:[ [ Lit.Pos x ] ]
+         (Db.theory db) part)
+  end
+
+(* All ⊆-minimal models (total partition). *)
+let minimal_models ?limit t db =
+  tick t;
+  match limit with
+  | Some _ ->
+    (* limited enumerations are cheap and caller-specific: never cached *)
+    Minimal.all_minimal ?limit (Db.theory db)
+  | None ->
+    if not t.cache then Minimal.all_minimal (Db.theory db)
+    else begin
+      let key = theory_key t db in
+      memo t t.model_lists (qkey key "minimal_models") (fun () ->
+          Minimal.all_minimal (Db.theory db))
+    end
+
+(* MM(DB;P;Z) ⊨ F — the ECWA/EGCWA decision problem. *)
+let minimal_entails ?part t db f =
+  tick t;
+  let n = max (Db.num_vars db) (Formula.max_atom f + 1) in
+  let db = Db.with_universe db n in
+  let part = match part with Some p -> p | None -> Partition.minimize_all n in
+  if not t.cache then Models.minimal_entails ~part db f
+  else begin
+    let key = theory_key t db in
+    memo t t.bools (qkey ~part ~form:f key "mm_entails") (fun () ->
+        Models.minimal_entails ~part db f)
+  end
+
+(* {x : DB ⊭ x} — Reiter's CWA closure, n assumption solves on the shared
+   solver, memoized per theory. *)
+let non_entailed_atoms t db =
+  tick t;
+  if not t.cache then direct_non_entailed_atoms db
+  else begin
+    let key = theory_key t db in
+    memo t t.interps (qkey key "non_entailed") (fun () ->
+        let st = theory_state t db key in
+        Interp.of_pred (Db.num_vars db) (fun x ->
+            match Solver.solve ~assumptions:[ Lit.Neg x ] st.solver with
+            | Solver.Sat -> true
+            | Solver.Unsat -> false))
+  end
+
+(* Generic per-semantics result memo for semantics whose decision procedure
+   the engine does not decompose (PWS, CIRC, ICWA, PERF, DSM, PDSM): the
+   engine still canonicalizes, caches and instruments the answer. *)
+let cached_bool ?part ?formula ?(arg = -1) t ~sem ~op db compute =
+  tick t;
+  if not t.cache then compute ()
+  else begin
+    let key = theory_key t db in
+    memo t t.bools
+      (qkey ?part ?form:formula ~arg key (sem ^ "/" ^ op))
+      compute
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Stats reporting                                                     *)
+
+type stats = {
+  scope : string;
+  oracle_calls : int;
+  cache_hits : int;
+  cache_misses : int;
+  sat_solve_calls : int;
+  sigma2_queries : int;
+  sat_conflicts : int;
+  sat_decisions : int;
+  sat_propagations : int;
+  wall_ms : float;
+}
+
+let stats_of_counters scope (c : counters) =
+  {
+    scope;
+    oracle_calls = c.oracle_calls;
+    cache_hits = c.cache_hits;
+    cache_misses = c.cache_misses;
+    sat_solve_calls = c.sat_calls;
+    sigma2_queries = c.sigma2_calls;
+    sat_conflicts = c.conflicts;
+    sat_decisions = c.decisions;
+    sat_propagations = c.propagations;
+    wall_ms = c.time_ms;
+  }
+
+let totals t = stats_of_counters "total" t.total
+
+let per_scope t =
+  Hashtbl.fold (fun name c acc -> stats_of_counters name c :: acc) t.per_scope []
+  |> List.sort (fun a b -> String.compare a.scope b.scope)
+
+let pp_stats ppf s =
+  Fmt.pf ppf
+    "%s: oracle=%d hits=%d misses=%d sat=%d sigma2=%d conflicts=%d \
+     decisions=%d props=%d %.2fms"
+    s.scope s.oracle_calls s.cache_hits s.cache_misses s.sat_solve_calls
+    s.sigma2_queries s.sat_conflicts s.sat_decisions s.sat_propagations
+    s.wall_ms
+
+(* JSON emission (hand-rolled; schema documented in EXPERIMENTS.md). *)
+
+let json_of_stats s =
+  Printf.sprintf
+    {|{"oracle_calls":%d,"cache_hits":%d,"cache_misses":%d,"sat_solve_calls":%d,"sigma2_queries":%d,"sat_conflicts":%d,"sat_decisions":%d,"sat_propagations":%d,"wall_ms":%.3f}|}
+    s.oracle_calls s.cache_hits s.cache_misses s.sat_solve_calls
+    s.sigma2_queries s.sat_conflicts s.sat_decisions s.sat_propagations
+    s.wall_ms
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let stats_json t =
+  let scopes =
+    per_scope t
+    |> List.map (fun s ->
+           Printf.sprintf {|"%s":%s|} (json_escape s.scope) (json_of_stats s))
+    |> String.concat ","
+  in
+  Printf.sprintf {|{"cache":%b,"theories":%d,"total":%s,"per_semantics":{%s}}|}
+    t.cache t.next_key
+    (json_of_stats (totals t))
+    scopes

@@ -1,0 +1,127 @@
+open Ddb_logic
+open Ddb_db
+
+(** Shared memoizing oracle engine.
+
+    All ten semantics of the paper bottom out in the same primitive oracle
+    queries (satisfiability, minimal-model checks, support sets,
+    minimal-model enumeration).  An {!t} canonicalizes theories into
+    hash-consed keys, fronts each with a single incremental assumption-based
+    {!Solver.t}, memoizes the expensive oracles, and instruments everything
+    (oracle calls, cache hits/misses, SAT effort, wall time — attributable
+    per semantics via {!scoped}).
+
+    A cache-disabled engine ([create ~cache:false]) replicates the original
+    direct path of [lib/core] exactly: fresh solver per query, no memo
+    tables.  It is the ablation baseline the cache-soundness tests and the
+    bench harness compare against. *)
+
+type t
+
+val create : ?cache:bool -> unit -> t
+(** A fresh engine; [cache] defaults to [true]. *)
+
+val default : t
+(** The process-wide engine the convenience wrappers in [lib/core] use. *)
+
+val set_cache : t -> bool -> unit
+(** Flip the cached/direct flag (existing memo entries are kept but not
+    consulted while the flag is off). *)
+
+val cache_enabled : t -> bool
+
+val reset : t -> unit
+(** Drop all caches, shared solvers and statistics. *)
+
+val theory_key : t -> Db.t -> int
+(** Hash-consed id of the database's canonicalized clause set.  Two
+    databases with the same universe and the same clauses (up to literal
+    and clause order and duplication) share a key. *)
+
+(** {1 Oracle operations}
+
+    Each operation counts as one engine oracle call.  Cached engines answer
+    repeats from the memo tables and run fresh queries on the theory's
+    shared incremental solver; direct engines recompute from scratch. *)
+
+val sat : t -> Db.t -> bool
+(** DB consistency — one SAT call. *)
+
+val augmented_has_model : t -> Db.t -> Interp.t -> bool
+(** [DB ∪ {¬x : x ∈ negs}] has a model (negations as assumptions). *)
+
+val augmented_entails : t -> Db.t -> Interp.t -> Formula.t -> bool
+(** [DB ∪ {¬x : x ∈ negs} ⊨ F].  The universe is padded to cover [F]. *)
+
+val entails : t -> Db.t -> Formula.t -> bool
+(** Classical [DB ⊨ F]. *)
+
+val support_set : t -> Db.t -> Partition.t -> Interp.t
+(** [{x ∈ P : x true in some (P;Z)-minimal model}] — memoized per
+    (theory, partition); the closed-world family's hot oracle. *)
+
+val negated_atoms : t -> Db.t -> Partition.t -> Interp.t
+(** [P ∖ support_set] — the atoms GCWA/CCWA negate. *)
+
+val in_some_minimal : t -> Db.t -> Partition.t -> int -> bool
+(** Is the atom true in some (P;Z)-minimal model?  Cached engines answer
+    from the memoized support set; direct engines issue one constrained
+    minimal-model query.  The atom must belong to [P]. *)
+
+val minimal_models : ?limit:int -> t -> Db.t -> Interp.t list
+(** All ⊆-minimal models (total partition).  Unlimited enumerations are
+    memoized; limited ones are caller-specific and never cached. *)
+
+val minimal_entails : ?part:Partition.t -> t -> Db.t -> Formula.t -> bool
+(** [MM(DB;P;Z) ⊨ F] (default partition: minimize everything). *)
+
+val non_entailed_atoms : t -> Db.t -> Interp.t
+(** [{x : DB ⊭ x}] — Reiter's CWA closure set, n assumption solves. *)
+
+val cached_bool :
+  ?part:Partition.t ->
+  ?formula:Formula.t ->
+  ?arg:int ->
+  t ->
+  sem:string ->
+  op:string ->
+  Db.t ->
+  (unit -> bool) ->
+  bool
+(** Generic per-semantics decision memo for procedures the engine does not
+    decompose: canonicalizes the database, keys on
+    [(sem, op, part, formula, arg)], instruments, and delegates to the
+    thunk on a miss (or always, for direct engines). *)
+
+(** {1 Instrumentation} *)
+
+val scoped : t -> string -> (unit -> 'a) -> 'a
+(** [scoped t name f] runs [f], attributing solver effort ({!Stats} deltas)
+    and wall time to the per-semantics bucket [name].  Nested scopes keep
+    attributing to the outermost one. *)
+
+type stats = {
+  scope : string;
+  oracle_calls : int;
+  cache_hits : int;
+  cache_misses : int;
+  sat_solve_calls : int;
+  sigma2_queries : int;
+  sat_conflicts : int;
+  sat_decisions : int;
+  sat_propagations : int;
+  wall_ms : float;
+}
+
+val totals : t -> stats
+val per_scope : t -> stats list
+(** Per-semantics buckets, sorted by scope name. *)
+
+val pp_stats : Format.formatter -> stats -> unit
+
+val json_of_stats : stats -> string
+
+val stats_json : t -> string
+(** The full stats record as JSON:
+    [{"cache":bool,"theories":int,"total":{…},"per_semantics":{name:{…}}}].
+    Schema documented in EXPERIMENTS.md. *)

@@ -1,21 +1,52 @@
 (* Global oracle-call counters for the empirical complexity harness.
 
    [sat_calls] is bumped by every [Solver.solve]; higher-level oracles (the
-   Sigma-2 oracle in lib/core) bump [sigma2_calls].  Benches snapshot, run a
-   task, and report the deltas. *)
+   Sigma-2 oracle in lib/core) bump [sigma2_calls].  The solver additionally
+   mirrors its per-instance search effort (conflicts, decisions,
+   propagations) into global counters so that callers — in particular the
+   memoizing oracle engine — can attribute solver work to a scope without
+   holding a reference to every solver ever created.  Benches snapshot, run
+   a task, and report the deltas. *)
 
 let sat_calls = ref 0
 let sigma2_calls = ref 0
+let conflicts = ref 0
+let decisions = ref 0
+let propagations = ref 0
 
-type snapshot = { sat : int; sigma2 : int }
+type snapshot = {
+  sat : int;
+  sigma2 : int;
+  conflicts : int;
+  decisions : int;
+  propagations : int;
+}
 
-let snapshot () = { sat = !sat_calls; sigma2 = !sigma2_calls }
+let snapshot () =
+  {
+    sat = !sat_calls;
+    sigma2 = !sigma2_calls;
+    conflicts = !conflicts;
+    decisions = !decisions;
+    propagations = !propagations;
+  }
 
 let delta before =
-  { sat = !sat_calls - before.sat; sigma2 = !sigma2_calls - before.sigma2 }
+  {
+    sat = !sat_calls - before.sat;
+    sigma2 = !sigma2_calls - before.sigma2;
+    conflicts = !conflicts - before.conflicts;
+    decisions = !decisions - before.decisions;
+    propagations = !propagations - before.propagations;
+  }
 
 let reset () =
   sat_calls := 0;
-  sigma2_calls := 0
+  sigma2_calls := 0;
+  conflicts := 0;
+  decisions := 0;
+  propagations := 0
 
-let pp ppf s = Fmt.pf ppf "sat=%d sigma2=%d" s.sat s.sigma2
+let pp ppf s =
+  Fmt.pf ppf "sat=%d sigma2=%d conflicts=%d decisions=%d propagations=%d"
+    s.sat s.sigma2 s.conflicts s.decisions s.propagations

@@ -1,13 +1,26 @@
 (** Global oracle-call counters for the empirical complexity harness.
     [Solver.solve] bumps [sat_calls]; the Σ₂ᵖ oracles in higher layers bump
-    [sigma2_calls]. *)
+    [sigma2_calls].  The solver also mirrors its search effort (conflicts,
+    decisions, propagations) here so scoped instrumentation — e.g. the
+    memoizing oracle engine — can attribute solver work without a handle on
+    every solver instance. *)
 
 val sat_calls : int ref
 val sigma2_calls : int ref
+val conflicts : int ref
+val decisions : int ref
+val propagations : int ref
 
-type snapshot = { sat : int; sigma2 : int }
+type snapshot = {
+  sat : int;
+  sigma2 : int;
+  conflicts : int;
+  decisions : int;
+  propagations : int;
+}
 
 val snapshot : unit -> snapshot
+
 val delta : snapshot -> snapshot
 (** Counts accumulated since the snapshot. *)
 

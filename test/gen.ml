@@ -102,6 +102,14 @@ let random_formula rand num_vars ~depth =
   in
   go depth
 
+(* Property-test iteration count.  The default keeps `dune runtest` fast;
+   the @slowtest alias re-runs the suite with DDB_QCHECK_COUNT raised. *)
+let qcheck_count default =
+  match Sys.getenv_opt "DDB_QCHECK_COUNT" with
+  | Some s -> (
+    match int_of_string_opt s with Some n when n > 0 -> n | _ -> default)
+  | None -> default
+
 let interp_list_equal a b =
   let a = List.sort Interp.compare a and b = List.sort Interp.compare b in
   List.length a = List.length b && List.for_all2 Interp.equal a b

@@ -1,0 +1,253 @@
+open Ddb_logic
+open Ddb_db
+open Ddb_core
+open Ddb_workload
+open Alcotest
+module Engine = Ddb_engine.Engine
+module Stats = Ddb_sat.Stats
+
+(* Tests for the shared memoizing oracle engine: cache soundness (cached,
+   direct-engine and seed paths agree on every registry semantics),
+   instrumentation (solver counters are monotone and the engine's
+   attribution matches the global Stats deltas), and the hash-consed
+   theory keys. *)
+
+(* --- cache soundness --- *)
+
+(* The seeded workloads the three paths are compared on.  PDSM enumerates
+   3^n partial interpretations, so it only runs on the small universes. *)
+let workloads =
+  [
+    ("positive-7", Random_db.positive ~seed:11 ~num_vars:7);
+    ("integrity-7", Random_db.with_integrity ~seed:12 ~num_vars:7);
+    ("stratified-6", Random_db.stratified ~seed:13 ~num_vars:6 ());
+    ("normal-6", Random_db.normal ~seed:14 ~num_vars:6);
+  ]
+
+let runs_on (s : Semantics.t) db =
+  s.Semantics.applicable db
+  && (s.Semantics.name <> "pdsm" || Db.num_vars db <= 6)
+
+let cache_soundness () =
+  let cached = Engine.create ~cache:true () in
+  let direct = Engine.create ~cache:false () in
+  List.iter
+    (fun (wname, db) ->
+      let n = Db.num_vars db in
+      let queries =
+        List.concat_map (fun x -> [ Lit.Neg x; Lit.Pos x ]) (List.init n Fun.id)
+      in
+      let formulas =
+        List.map
+          (fun seed -> Random_db.formula ~seed ~num_vars:n ~depth:3)
+          [ 21; 22; 23 ]
+      in
+      List.iteri
+        (fun i (seed : Semantics.t) ->
+          if runs_on seed db then begin
+            let sc = List.nth (Registry.all_in cached) i in
+            let sd = List.nth (Registry.all_in direct) i in
+            let ctx op =
+              Printf.sprintf "%s/%s %s" wname seed.Semantics.name op
+            in
+            check bool (ctx "has_model") (seed.Semantics.has_model db)
+              (sc.Semantics.has_model db);
+            check bool (ctx "has_model/direct") (seed.Semantics.has_model db)
+              (sd.Semantics.has_model db);
+            List.iter
+              (fun l ->
+                let expect = seed.Semantics.infer_literal db l in
+                check bool (ctx "literal") expect (sc.Semantics.infer_literal db l);
+                check bool (ctx "literal/direct") expect
+                  (sd.Semantics.infer_literal db l))
+              queries;
+            List.iter
+              (fun f ->
+                let expect = seed.Semantics.infer_formula db f in
+                check bool (ctx "formula") expect (sc.Semantics.infer_formula db f);
+                check bool (ctx "formula/direct") expect
+                  (sd.Semantics.infer_formula db f))
+              formulas
+          end)
+        Registry.all)
+    workloads;
+  check bool "cached engine recorded hits" true
+    ((Engine.totals cached).Engine.cache_hits > 0);
+  check bool "direct engine never consults the cache" true
+    ((Engine.totals direct).Engine.cache_hits = 0)
+
+(* Engine primitives against their lib/core and brute-force counterparts. *)
+let primitive_soundness () =
+  let eng = Engine.create () in
+  List.iter
+    (fun seed ->
+      let db = Random_db.with_integrity ~seed ~num_vars:6 in
+      let part = Partition.minimize_all (Db.num_vars db) in
+      check bool "sat = Models.has_model" (Models.has_model db)
+        (Engine.sat eng db);
+      check bool "support_set = Mm.support_set" true
+        (Interp.equal (Mm.support_set db part) (Engine.support_set eng db part));
+      check bool "minimal_models = brute" true
+        (Gen.interp_list_equal
+           (Models.brute_minimal_models db)
+           (Engine.minimal_models eng db));
+      check bool "non_entailed_atoms = Cwa.negated_atoms" true
+        (Interp.equal (Cwa.negated_atoms db) (Engine.non_entailed_atoms eng db)))
+    [ 31; 32; 33 ]
+
+(* A repeated query must be answered entirely from the memo tables: the
+   second sweep adds zero SAT solve calls. *)
+let repeat_queries_hit_cache () =
+  let eng = Engine.create () in
+  let db = Random_db.positive ~seed:5 ~num_vars:8 in
+  let s = Gcwa.semantics_in eng in
+  let sweep () =
+    for x = 0 to Db.num_vars db - 1 do
+      ignore (s.Semantics.infer_literal db (Lit.Neg x));
+      ignore (s.Semantics.infer_literal db (Lit.Pos x))
+    done
+  in
+  sweep ();
+  let first = (Engine.totals eng).Engine.sat_solve_calls in
+  check bool "first sweep does solve" true (first > 0);
+  sweep ();
+  let second = (Engine.totals eng).Engine.sat_solve_calls in
+  check int "second sweep is free" first second;
+  check bool "hits recorded" true ((Engine.totals eng).Engine.cache_hits > 0)
+
+(* --- instrumentation --- *)
+
+(* Fixed pigeonhole instance: the global conflict/decision/propagation
+   counters must move, and must be monotone across repeated solves. *)
+let pigeonhole_counters_monotone () =
+  let num_vars, cnf = Pigeonhole.unsat_instance 4 in
+  let before = Stats.snapshot () in
+  let solve () =
+    let s = Ddb_sat.Solver.of_clauses ~num_vars cnf in
+    check bool "PHP(5,4) unsat" true (Ddb_sat.Solver.solve s = Ddb_sat.Solver.Unsat)
+  in
+  solve ();
+  let d1 = Stats.delta before in
+  check int "one solve call" 1 d1.Stats.sat;
+  check bool "conflicts counted" true (d1.Stats.conflicts > 0);
+  check bool "decisions counted" true (d1.Stats.decisions > 0);
+  check bool "propagations counted" true (d1.Stats.propagations > 0);
+  solve ();
+  let d2 = Stats.delta before in
+  check int "two solve calls" 2 d2.Stats.sat;
+  check bool "conflicts monotone" true (d2.Stats.conflicts >= d1.Stats.conflicts);
+  check bool "decisions monotone" true (d2.Stats.decisions >= d1.Stats.decisions);
+  check bool "propagations monotone" true
+    (d2.Stats.propagations >= d1.Stats.propagations);
+  (* identical deterministic instance: the second solve costs the same *)
+  check int "conflicts deterministic" (2 * d1.Stats.conflicts) d2.Stats.conflicts
+
+(* The engine's per-scope attribution must agree with the global Stats
+   deltas over the same window. *)
+let engine_stats_match_global () =
+  let eng = Engine.create () in
+  let db = Random_db.with_integrity ~seed:9 ~num_vars:7 in
+  let before = Stats.snapshot () in
+  for x = 0 to Db.num_vars db - 1 do
+    ignore (Gcwa.infer_literal_in eng db (Lit.Neg x))
+  done;
+  let d = Stats.delta before in
+  let t = Engine.totals eng in
+  check int "sat calls attributed" d.Stats.sat t.Engine.sat_solve_calls;
+  check int "conflicts attributed" d.Stats.conflicts t.Engine.sat_conflicts;
+  check int "decisions attributed" d.Stats.decisions t.Engine.sat_decisions;
+  check int "propagations attributed" d.Stats.propagations
+    t.Engine.sat_propagations;
+  match Engine.per_scope eng with
+  | [ g ] ->
+    check string "single gcwa scope" "gcwa" g.Engine.scope;
+    check int "scope sat = total sat" t.Engine.sat_solve_calls
+      g.Engine.sat_solve_calls
+  | scopes ->
+    failf "expected one scope, got %d" (List.length scopes)
+
+let stats_json_sanity () =
+  let eng = Engine.create () in
+  let db = Random_db.positive ~seed:3 ~num_vars:5 in
+  ignore (Gcwa.infer_formula_in eng db (Formula.Atom 0));
+  let json = Engine.stats_json eng in
+  let has needle =
+    let nl = String.length needle and jl = String.length json in
+    let rec go i = i + nl <= jl && (String.sub json i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check bool "object" true (String.length json > 0 && json.[0] = '{');
+  check bool "cache flag" true (has "\"cache\":true");
+  check bool "totals present" true (has "\"cache_hits\"");
+  check bool "gcwa bucket present" true (has "\"gcwa\"")
+
+(* --- canonical theory keys --- *)
+
+let theory_key_canonical () =
+  let eng = Engine.create () in
+  let vocab = Vocab.of_size 3 in
+  let c1 = Clause.make ~head:[ 0; 1 ] ~pos:[] ~neg:[] in
+  let c2 = Clause.make ~head:[ 2 ] ~pos:[ 0 ] ~neg:[] in
+  let db1 = Db.make ~vocab [ c1; c2 ] in
+  (* permuted clauses, duplicated clause, permuted head *)
+  let db2 =
+    Db.make ~vocab [ c2; Clause.make ~head:[ 1; 0 ] ~pos:[] ~neg:[]; c1 ]
+  in
+  let db3 = Db.make ~vocab [ c1 ] in
+  check int "permutation/duplication invariant" (Engine.theory_key eng db1)
+    (Engine.theory_key eng db2);
+  check bool "different theory, different key" true
+    (Engine.theory_key eng db1 <> Engine.theory_key eng db3)
+
+(* --- oracle algorithms through the engine --- *)
+
+let oracle_algorithms_engine_variant () =
+  List.iter
+    (fun seed ->
+      let eng = Engine.create () in
+      let db = Random_db.positive ~seed ~num_vars:7 in
+      let f = Random_db.formula ~seed:(seed + 100) ~num_vars:7 ~depth:3 in
+      let d = Oracle_algorithms.gcwa_formula db f in
+      let e = Oracle_algorithms.gcwa_formula_in eng db f in
+      check bool "gcwa answer agrees" d.Oracle_algorithms.answer
+        e.Oracle_algorithms.answer;
+      check int "same Σ₂ query count" d.Oracle_algorithms.sigma2_queries
+        e.Oracle_algorithms.sigma2_queries;
+      check bool "within the log bound" true
+        (e.Oracle_algorithms.sigma2_queries
+        <= Oracle_algorithms.log_bound e.Oracle_algorithms.p_size);
+      let part = Random_db.random_partition ~seed ~num_vars:7 in
+      let d = Oracle_algorithms.ccwa_formula db part f in
+      let e = Oracle_algorithms.ccwa_formula_in eng db part f in
+      check bool "ccwa answer agrees" d.Oracle_algorithms.answer
+        e.Oracle_algorithms.answer;
+      check int "ccwa same Σ₂ query count" d.Oracle_algorithms.sigma2_queries
+        e.Oracle_algorithms.sigma2_queries)
+    [ 41; 42; 43 ]
+
+let suites =
+  [
+    ( "engine.soundness",
+      [
+        test_case "cached/direct/seed agree on all registry semantics" `Quick
+          cache_soundness;
+        test_case "engine primitives match lib/core and brute force" `Quick
+          primitive_soundness;
+        test_case "repeated queries are answered from the cache" `Quick
+          repeat_queries_hit_cache;
+      ] );
+    ( "engine.instrumentation",
+      [
+        test_case "pigeonhole counters move and are monotone" `Quick
+          pigeonhole_counters_monotone;
+        test_case "per-scope attribution matches global Stats" `Quick
+          engine_stats_match_global;
+        test_case "stats JSON shape" `Quick stats_json_sanity;
+      ] );
+    ( "engine.keys",
+      [
+        test_case "theory keys are canonical" `Quick theory_key_canonical;
+        test_case "oracle algorithms: engine variant ≡ direct" `Quick
+          oracle_algorithms_engine_variant;
+      ] );
+  ]
