@@ -19,10 +19,19 @@ let time_ms f =
   let _ = f () in
   (Unix.gettimeofday () -. t0) *. 1000.
 
-let engines () =
+(* Each ladder rung is independent (fresh seeded instance, fresh solver),
+   so the rungs fan out over the domain pool; rows are printed after the
+   join, in ladder order, identically for every job count.  jobs:1 (the
+   default) is the historical sequential path and the one to use when the
+   timing shape is the result. *)
+let ladder ~jobs sizes row print_row =
+  List.iter print_row
+    (Ddb_parallel.Parallel.map_chunked ~jobs ~chunk_size:1 row sizes)
+
+let engines ~jobs () =
   Fmt.pr "@.=== Ablation: reference enumeration vs oracle engine (EGCWA formula inference) ===@.";
   Fmt.pr "  %-6s %-14s %-14s@." "n" "reference ms" "oracle ms";
-  List.iter
+  ladder ~jobs [ 8; 12; 16; 20; 30; 40 ]
     (fun n ->
       let db = Random_db.positive ~seed:(7 * n) ~num_vars:n in
       let f = Random_db.formula ~seed:n ~num_vars:n ~depth:2 in
@@ -35,14 +44,15 @@ let engines () =
                 (Egcwa.semantics.Semantics.reference_models db))
       in
       let oracle_ms = time_ms (fun () -> Egcwa.infer_formula db f) in
+      (n, reference_ms, oracle_ms))
+    (fun (n, reference_ms, oracle_ms) ->
       Fmt.pr "  %-6d %-14.2f %-14.2f@." n reference_ms oracle_ms)
-    [ 8; 12; 16; 20; 30; 40 ]
 
-let sat_php () =
+let sat_php ~jobs () =
   Fmt.pr "@.=== Ablation: CDCL vs naive DPLL (pigeonhole PHP(n+1,n), unsat) ===@.";
   Fmt.pr "  (resolution lower bound: both engines are exponential here)@.";
   Fmt.pr "  %-6s %-12s %-12s@." "n" "cdcl ms" "dpll ms";
-  List.iter
+  ladder ~jobs [ 4; 5; 6 ]
     (fun n ->
       let num_vars, clauses = Pigeonhole.unsat_instance n in
       let cdcl_ms =
@@ -50,15 +60,16 @@ let sat_php () =
             Ddb_sat.Solver.solve (Ddb_sat.Solver.of_clauses ~num_vars clauses))
       in
       let dpll_ms = time_ms (fun () -> Ddb_sat.Dpll.is_sat ~num_vars clauses) in
+      (n, cdcl_ms, dpll_ms))
+    (fun (n, cdcl_ms, dpll_ms) ->
       Fmt.pr "  %-6d %-12.2f %-12.2f@." n cdcl_ms dpll_ms)
-    [ 4; 5; 6 ]
 
 (* Random 3-CNF near the phase transition (ratio 4.2): structured conflicts
    are exactly where learning pays. *)
-let sat_random () =
+let sat_random ~jobs () =
   Fmt.pr "@.=== Ablation: CDCL vs naive DPLL (random 3-CNF, ratio 4.2) ===@.";
   Fmt.pr "  %-6s %-12s %-12s@." "n" "cdcl ms" "dpll ms";
-  List.iter
+  ladder ~jobs [ 20; 40; 60; 90; 120 ]
     (fun n ->
       let rng = Rng.create (97 * n) in
       let clauses =
@@ -75,10 +86,11 @@ let sat_random () =
         if n > 60 then Float.nan
         else time_ms (fun () -> Ddb_sat.Dpll.is_sat ~num_vars:n clauses)
       in
+      (n, cdcl_ms, dpll_ms))
+    (fun (n, cdcl_ms, dpll_ms) ->
       Fmt.pr "  %-6d %-12.2f %-12.2f@." n cdcl_ms dpll_ms)
-    [ 20; 40; 60; 90; 120 ]
 
-let run () =
-  engines ();
-  sat_php ();
-  sat_random ()
+let run ?(jobs = 1) () =
+  engines ~jobs ();
+  sat_php ~jobs ();
+  sat_random ~jobs ()

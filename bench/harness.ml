@@ -73,7 +73,7 @@ let pp_measurement ppf m =
   Fmt.pf ppf "n=%-4d %8.2fms %6.0f sat %4.0f s2" m.n m.time_ms m.sat_calls
     m.sigma2_calls
 
-let print_cell ~setting cell =
+let print_cell ~setting cell results =
   let claimed =
     match Classes.lookup ~semantics:cell.semantics ~setting ~task:cell.task with
     | Some entry ->
@@ -84,7 +84,6 @@ let print_cell ~setting cell =
         | Classes.Reconstructed -> " (reconstructed)")
     | None -> "?"
   in
-  let results = run_cell cell in
   Fmt.pr "  %-6s %-18s  claimed: %-40s@." cell.semantics
     (Classes.task_to_string cell.task)
     claimed;
@@ -269,19 +268,34 @@ let table2_cells : cell list =
       instance = nrm; run = Pdsm.has_model };
   ]
 
-let print_table ~title ~setting cells =
+(* Cells are measured through the domain pool (one cell per task; each
+   cell's seeded instances and solver state live entirely in the worker
+   that runs it, and the DLS stats counters keep the per-cell oracle
+   deltas exact).  Output is printed after the join, in cell order, so it
+   is identical for every job count; jobs:1 is the historical sequential
+   path.  Note that wall-clock times measured with jobs > 1 on a loaded
+   or small machine include scheduling noise — use jobs:1 when the ladder
+   shape itself is the result. *)
+let print_table ?(jobs = 1) ~title ~setting cells =
   Fmt.pr "@.=== %s ===@." title;
   Fmt.pr "  (time averaged over %d seeded instances; 'sat' = NP-oracle calls, 's2' = Sigma2-oracle queries)@."
     repetitions;
-  List.iter (print_cell ~setting) cells
+  if jobs > 1 then
+    Fmt.pr "  (cells measured across %d worker domains)@." jobs;
+  let rows =
+    Ddb_parallel.Parallel.map_chunked ~jobs ~chunk_size:1
+      (fun cell -> run_cell cell)
+      cells
+  in
+  List.iter2 (fun cell results -> print_cell ~setting cell results) cells rows
 
-let table1 () =
-  print_table
+let table1 ?jobs () =
+  print_table ?jobs
     ~title:"Table 1: positive propositional DDBs (no integrity clauses, no negation)"
     ~setting:Classes.Table1 table1_cells
 
-let table2 () =
-  print_table
+let table2 ?jobs () =
+  print_table ?jobs
     ~title:"Table 2: propositional DDBs (with integrity clauses)"
     ~setting:Classes.Table2 table2_cells
 
@@ -311,6 +325,8 @@ let engine_workload (s : Semantics.t) db =
     ignore (s.Semantics.has_model db)
   done
 
+(* Prints the comparison table and returns the section as JSON (collected
+   by main.exe --json). *)
 let engine_comparison () =
   Fmt.pr "@.=== Engine ablation: memoizing oracle engine (cached vs direct) ===@.";
   Fmt.pr
@@ -323,24 +339,147 @@ let engine_comparison () =
     run ();
     (Ddb_sat.Stats.delta before).Ddb_sat.Stats.sat
   in
-  let wins = ref 0 in
-  List.iter2
-    (fun (sc : Semantics.t) (sd : Semantics.t) ->
-      let name = sc.Semantics.name in
-      let db =
-        Random_db.positive ~seed:7 ~num_vars:(engine_universe name)
-      in
-      let sat_direct = sat_of (fun () -> engine_workload sd db) in
-      let sat_cached = sat_of (fun () -> engine_workload sc db) in
-      if sat_cached < sat_direct then incr wins;
+  let rows =
+    List.map2
+      (fun (sc : Semantics.t) (sd : Semantics.t) ->
+        let name = sc.Semantics.name in
+        let db =
+          Random_db.positive ~seed:7 ~num_vars:(engine_universe name)
+        in
+        let sat_direct = sat_of (fun () -> engine_workload sd db) in
+        let sat_cached = sat_of (fun () -> engine_workload sc db) in
+        (name, sat_direct, sat_cached))
+      (Registry.all_in cached) (Registry.all_in direct)
+  in
+  let wins =
+    List.length (List.filter (fun (_, d, c) -> c < d) rows)
+  in
+  List.iter
+    (fun (name, sat_direct, sat_cached) ->
       Fmt.pr "  %-6s direct: %6d sat   cached: %6d sat   (%.1fx)@." name
         sat_direct sat_cached
         (if sat_cached > 0 then
            float_of_int sat_direct /. float_of_int sat_cached
          else Float.infinity))
-    (Registry.all_in cached) (Registry.all_in direct);
+    rows;
   let t = Engine.totals cached in
   Fmt.pr "  cached engine: %a@." Engine.pp_stats t;
-  Fmt.pr "  semantics with fewer SAT calls than the direct path: %d/%d@." !wins
+  Fmt.pr "  semantics with fewer SAT calls than the direct path: %d/%d@." wins
     (List.length Registry.names);
-  Fmt.pr "@.--- engine stats JSON ---@.%s@." (Engine.stats_json cached)
+  Fmt.pr "@.--- engine stats JSON ---@.%s@." (Engine.stats_json cached);
+  Printf.sprintf
+    {|{"per_semantics":[%s],"cached_wins":%d,"engine":%s}|}
+    (String.concat ","
+       (List.map
+          (fun (name, d, c) ->
+            Printf.sprintf {|{"name":%S,"sat_direct":%d,"sat_cached":%d}|}
+              name d c)
+          rows))
+    wins (Engine.stats_json cached)
+
+(* ---- parallel: domain-pool batch sweeps vs the sequential path ----
+
+   A seeded instance sweep (full ± literal workload under every applicable
+   semantics except pdsm, over [instances] random DDBs) run three ways:
+   plain sequential Registry loop on one engine, a jobs:1 batch (inline
+   pool, the overhead baseline), and a jobs:N batch (N worker domains, one
+   engine shard each).  We assert bit-identical answers across all three
+   and — on cache-disabled engines, whose per-query costs are
+   deterministic and context-free — that the shards' merged oracle/SAT
+   counters equal the sequential direct run's.  The section is printed,
+   returned as JSON, and written to BENCH_parallel.json.
+
+   Speedup scales with the cores actually available: on a single-core
+   machine the jobs:N run measures pure pool overhead (expect ~1.0x). *)
+
+module Batch = Ddb_parallel.Batch
+module Pool = Ddb_parallel.Pool
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, (Unix.gettimeofday () -. t0) *. 1000.)
+
+let parallel_bench ?jobs () =
+  let njobs =
+    match jobs with
+    | Some j -> max 1 j
+    | None -> max 2 (Pool.recommended_jobs ())
+  in
+  Fmt.pr "@.=== Parallel: sharded-engine batch sweeps (sequential vs jobs:1 vs jobs:%d) ===@."
+    njobs;
+  let instances = 12 and num_vars = 9 in
+  let dbs =
+    List.init instances (fun i ->
+        Random_db.with_integrity ~seed:(100 + i) ~num_vars)
+  in
+  let sems =
+    List.filter (( <> ) "pdsm") (Registry.applicable_names (List.hd dbs))
+  in
+  let lits =
+    List.concat_map (fun x -> [ Lit.Neg x; Lit.Pos x ]) (List.init num_vars Fun.id)
+  in
+  let sequential ~cache () =
+    let eng = Engine.create ~cache () in
+    let answers =
+      List.map
+        (fun db ->
+          List.map
+            (fun sem ->
+              ( sem,
+                List.map
+                  (fun l -> (l, Registry.infer_literal_in eng ~sem db l))
+                  lits ))
+            sems)
+        dbs
+    in
+    (answers, eng)
+  in
+  let batched ~cache njobs =
+    Batch.with_batch ~jobs:njobs ~cache (fun b ->
+        let answers = Batch.instance_sweep b ~sems dbs in
+        (answers, Batch.totals b))
+  in
+  (* wall time on cached engines: the configuration a front end runs *)
+  let (seq_answers, _), seq_ms = wall (sequential ~cache:true) in
+  let (j1_answers, _), j1_ms = wall (fun () -> batched ~cache:true 1) in
+  let (jn_answers, _), jn_ms = wall (fun () -> batched ~cache:true njobs) in
+  let identical = seq_answers = j1_answers && seq_answers = jn_answers in
+  (* counter equality on direct (cache-disabled) engines *)
+  let (_, direct_eng), _ = wall (sequential ~cache:false) in
+  let direct = Engine.totals direct_eng in
+  let _, merged = batched ~cache:false njobs in
+  let counters_match =
+    direct.Engine.oracle_calls = merged.Engine.oracle_calls
+    && direct.Engine.sat_solve_calls = merged.Engine.sat_solve_calls
+    && direct.Engine.sigma2_queries = merged.Engine.sigma2_queries
+  in
+  let speedup = if jn_ms > 0. then seq_ms /. jn_ms else Float.infinity in
+  Fmt.pr "  workload: %d instances x %d semantics x %d literal queries@."
+    instances (List.length sems) (List.length lits);
+  Fmt.pr "  sequential: %8.2fms@." seq_ms;
+  Fmt.pr "  jobs:1      %8.2fms  (inline pool)@." j1_ms;
+  Fmt.pr "  jobs:%-2d     %8.2fms  (%.2fx vs sequential)@." njobs jn_ms speedup;
+  Fmt.pr "  identical answers: %b   direct counters match: %b   (cores: %d)@."
+    identical counters_match
+    (Pool.recommended_jobs ());
+  if not identical then failwith "parallel_bench: answers diverged";
+  if not counters_match then
+    failwith "parallel_bench: merged direct counters diverged";
+  let json =
+    Printf.sprintf
+      {|{"workload":{"instances":%d,"num_vars":%d,"semantics":[%s],"literal_queries":%d},"available_cores":%d,"runs":[{"mode":"sequential","wall_ms":%.3f},{"mode":"batch","jobs":1,"wall_ms":%.3f},{"mode":"batch","jobs":%d,"wall_ms":%.3f}],"speedup_vs_sequential":%.3f,"identical_results":%b,"direct_counters_match":%b,"merged_direct":{"oracle_calls":%d,"sat_solve_calls":%d,"sigma2_queries":%d}}|}
+      instances num_vars
+      (String.concat "," (List.map (Printf.sprintf "%S") sems))
+      (List.length lits)
+      (Pool.recommended_jobs ())
+      seq_ms j1_ms njobs jn_ms speedup identical counters_match
+      merged.Engine.oracle_calls merged.Engine.sat_solve_calls
+      merged.Engine.sigma2_queries
+  in
+  let oc = open_out "BENCH_parallel.json" in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  Fmt.pr "  wrote BENCH_parallel.json@.";
+  json

@@ -9,31 +9,79 @@
      dune exec bench/main.exe -- ablation
      dune exec bench/main.exe -- extensions  — brave/WFS/CWA-log studies
      dune exec bench/main.exe -- bechamel  — Bechamel micro-benchmarks
+     dune exec bench/main.exe -- parallel  — sharded-engine batch sweeps
+
+   Flags (after the section name):
+     --jobs N       worker domains for the pooled sections (table1, table2,
+                    ablation, parallel); default 1 so timing ladders keep
+                    their historical sequential shape
+     --json FILE    write the machine-readable sections (engine, parallel)
+                    to FILE as one JSON object
 
    See EXPERIMENTS.md for how each section maps to the paper's tables. *)
 
 let usage () =
   prerr_endline
-    "usage: main.exe [table1|table2|oracle|reductions|ablation|extensions|bechamel|all]"
+    "usage: main.exe [table1|table2|engine|oracle|reductions|ablation|extensions|bechamel|parallel|all] [--jobs N] [--json FILE]"
 
 let () =
-  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let mode = ref "all" and jobs = ref None and json_path = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--jobs" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some j when j >= 1 -> jobs := Some j
+      | _ ->
+        usage ();
+        exit 1);
+      parse rest
+    | "--json" :: path :: rest ->
+      json_path := Some path;
+      parse rest
+    | ("--jobs" | "--json") :: [] ->
+      usage ();
+      exit 1
+    | m :: rest ->
+      mode := m;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let mode = !mode and jobs = !jobs in
   let all = mode = "all" in
   let ran = ref false in
+  let json_sections = ref [] in
   let section name f =
     if all || mode = name then begin
       ran := true;
       f ()
     end
   in
-  section "table1" Harness.table1;
-  section "table2" Harness.table2;
-  section "engine" Harness.engine_comparison;
+  (* a section whose runner returns its results as a JSON object *)
+  let json_section name f =
+    section name (fun () ->
+        let json = f () in
+        json_sections := (name, json) :: !json_sections)
+  in
+  section "table1" (Harness.table1 ?jobs);
+  section "table2" (Harness.table2 ?jobs);
+  json_section "engine" Harness.engine_comparison;
   section "oracle" Oracle_bench.run;
   section "reductions" Reduction_bench.run;
-  section "ablation" Ablation.run;
+  section "ablation" (Ablation.run ?jobs);
   section "extensions" Extensions_bench.run;
   section "bechamel" Bechamel_suite.run;
+  json_section "parallel" (Harness.parallel_bench ?jobs);
+  (match !json_path with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    Printf.fprintf oc "{%s}\n"
+      (String.concat ","
+         (List.rev_map
+            (fun (name, json) -> Printf.sprintf "%S:%s" name json)
+            !json_sections));
+    close_out oc;
+    Fmt.pr "@.wrote %s@." path);
   if not !ran then begin
     usage ();
     exit 1

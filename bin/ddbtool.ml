@@ -9,7 +9,8 @@ open Cmdliner
      ddbtool models db.ddb --semantics egcwa
      ddbtool query db.ddb --semantics gcwa --query "~c"
      ddbtool exists db.ddb --semantics dsm
-     ddbtool stats db.ddb [--no-cache]
+     ddbtool stats db.ddb [--no-cache] [--jobs 4]
+     ddbtool sweep db.ddb [--jobs 4]
      ddbtool semantics
 
    Database files use the clause syntax of Ddb_logic.Parse:
@@ -336,53 +337,85 @@ let path_arg =
     & pos 0 (some string) None
     & info [] ~docv:"FILE" ~doc:"Non-ground Datalog file (.dl).")
 
-(* --- stats --- *)
+(* --- stats / sweep --- *)
 
-module Engine = Ddb_engine.Engine
+module Batch = Ddb_parallel.Batch
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the sweep (one oracle-engine shard each).  \
+           Default: the runtime's recommended domain count.")
+
+(* Resolve -s/--jobs into the semantics names to run.  The pdsm guard from
+   the sequential path survives: its 3^n enumeration is only run on small
+   universes unless the semantics was named explicitly. *)
+let select_sems db sem_name =
+  let n = Db.num_vars db in
+  match sem_name with
+  | Some name ->
+    if not (List.mem name Registry.names) then
+      Error
+        (`Msg
+          (Printf.sprintf "unknown semantics %S (try: %s)" name
+             (String.concat ", " Registry.names)))
+    else if
+      not
+        (List.exists
+           (fun (s : Semantics.t) ->
+             s.Semantics.name = name && s.Semantics.applicable db)
+           Registry.all)
+    then
+      Error
+        (`Msg
+          (Printf.sprintf "the %s semantics is not applicable to this database"
+             name))
+    else Ok [ name ]
+  | None ->
+    let names = Registry.applicable_names db in
+    let skipped, run =
+      List.partition (fun s -> s = "pdsm" && n > 8) names
+    in
+    List.iter
+      (fun s -> Fmt.epr "note: skipped %s (universe too large)@." s)
+      skipped;
+    Ok run
 
 (* Run the closed-world query workload (two passes of a full ± literal
-   sweep plus an existence check) through a memoizing oracle engine and
-   print the engine's per-semantics stats record as JSON.  --no-cache
-   replays the same workload on a cache-disabled engine (the direct
-   fresh-solver path) for ablation. *)
-let stats db sem_name no_cache =
-  let eng = Engine.create ~cache:(not no_cache) () in
-  Result.bind
-    (match sem_name with
-    | None -> Ok (Registry.all_in eng)
-    | Some name -> (
-      match Registry.find_in eng name with
-      | Some s -> Ok [ s ]
-      | None ->
-        Error
-          (`Msg
-            (Printf.sprintf "unknown semantics %S (try: %s)" name
-               (String.concat ", " Registry.names)))))
-  @@ fun sems ->
-  let n = Db.num_vars db in
-  let runnable (s : Semantics.t) =
-    (* PDSM enumerates 3^n partial interpretations — refuse big universes
-       unless asked for explicitly. *)
-    s.Semantics.applicable db
-    && (s.Semantics.name <> "pdsm" || n <= 8 || sem_name <> None)
-  in
-  let skipped, run = List.partition (fun s -> not (runnable s)) sems in
+   sweep plus an existence check) across a pool of worker domains, one
+   memoizing oracle engine per worker, and print the merged per-semantics
+   stats record as JSON — same schema as a single engine's.  --no-cache
+   replays the workload on cache-disabled shards (the direct fresh-solver
+   path) for ablation. *)
+let stats db sem_name no_cache jobs =
+  Result.bind (select_sems db sem_name) @@ fun sems ->
+  Batch.with_batch ?jobs ~cache:(not no_cache) @@ fun b ->
+  for _pass = 1 to 2 do
+    ignore (Batch.literal_sweep b ~sems db);
+    ignore (Batch.exists_sweep b ~sems db)
+  done;
+  Fmt.pr "%s@." (Batch.stats_json b);
+  Ok ()
+
+(* Print every ± literal's answer under every selected semantics.  Output
+   order is fixed (semantics in registry order, ¬x before x, atoms
+   ascending) and independent of --jobs. *)
+let sweep db sem_name no_cache jobs =
+  Result.bind (select_sems db sem_name) @@ fun sems ->
+  Batch.with_batch ?jobs ~cache:(not no_cache) @@ fun b ->
+  let vocab = Db.vocab db in
   List.iter
-    (fun (s : Semantics.t) ->
-      for _pass = 1 to 2 do
-        for x = 0 to n - 1 do
-          ignore (s.Semantics.infer_literal db (Lit.Neg x));
-          ignore (s.Semantics.infer_literal db (Lit.Pos x))
-        done;
-        ignore (s.Semantics.has_model db)
-      done)
-    run;
-  List.iter
-    (fun (s : Semantics.t) ->
-      Fmt.epr "note: skipped %s (not applicable or universe too large)@."
-        s.Semantics.name)
-    skipped;
-  Fmt.pr "%s@." (Engine.stats_json eng);
+    (fun (sem, answers) ->
+      List.iter
+        (fun (l, ans) ->
+          Fmt.pr "%-8s %s %a@." sem
+            (if ans then "|=" else "|/=")
+            (Lit.pp ~vocab) l)
+        answers)
+    (Batch.literal_sweep b ~sems db);
   Ok ()
 
 let stats_sem_arg =
@@ -463,12 +496,24 @@ let stats_cmd =
   Cmd.v
     (Cmd.info "stats"
        ~doc:
-         "Sweep all ± literal queries through the memoizing oracle engine \
-          and print its instrumentation record as JSON")
+         "Sweep all ± literal queries through sharded memoizing oracle \
+          engines (--jobs worker domains) and print the merged \
+          instrumentation record as JSON")
     Term.(
       ret
-        (const (fun db sem no_cache -> handle (stats db sem no_cache))
-        $ db_arg $ stats_sem_arg $ no_cache_flag))
+        (const (fun db sem no_cache jobs -> handle (stats db sem no_cache jobs))
+        $ db_arg $ stats_sem_arg $ no_cache_flag $ jobs_arg))
+
+let sweep_cmd =
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Answer every ± literal query under every applicable semantics, \
+          fanned out over --jobs worker domains")
+    Term.(
+      ret
+        (const (fun db sem no_cache jobs -> handle (sweep db sem no_cache jobs))
+        $ db_arg $ stats_sem_arg $ no_cache_flag $ jobs_arg))
 
 let semantics_cmd =
   Cmd.v (Cmd.info "semantics" ~doc:"List the available semantics")
@@ -480,7 +525,7 @@ let main_cmd =
     (Cmd.info "ddbtool" ~version:"1.0.0" ~doc)
     [
       classify_cmd; models_cmd; query_cmd; exists_cmd; count_cmd; ground_cmd;
-      stats_cmd; semantics_cmd;
+      stats_cmd; sweep_cmd; semantics_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -19,7 +19,7 @@ open Ddb_db
 
    The oracle is realized by the minimal-model engine; being an *oracle*,
    its internal work is unbounded and only invocations are counted
-   (Stats.sigma2_calls), which is what the complexity harness measures.
+   (Stats.bump_sigma2), which is what the complexity harness measures.
    [entails_linear] is the |P|-query variant for the ablation bench. *)
 
 type report = { answer : bool; sigma2_queries : int; p_size : int }
@@ -31,11 +31,11 @@ type report = { answer : bool; sigma2_queries : int; p_size : int }
 let make_oracle ~support_set ~augmented_entails db part =
   let support = lazy (support_set db part) in
   let query_at_least k =
-    incr Stats.sigma2_calls;
+    Stats.bump_sigma2 ();
     Interp.cardinal (Lazy.force support) >= k
   in
   let query_final f =
-    incr Stats.sigma2_calls;
+    Stats.bump_sigma2 ();
     (* "exists a K-sized witnessed W and a counter-model": W = S, so decide
        SAT(DB ∪ ¬(P∖S) ∪ ¬F). *)
     not
@@ -48,7 +48,7 @@ let make_oracle ~support_set ~augmented_entails db part =
 let entails_log_gen ~support_set ~augmented_entails db part f =
   if Formula.max_atom f >= Partition.universe_size part then
     invalid_arg "Oracle_algorithms.entails_log: query atom outside partition";
-  let before = !Stats.sigma2_calls in
+  let before = (Stats.snapshot ()).Stats.sigma2 in
   let query_at_least, query_final =
     make_oracle ~support_set ~augmented_entails db part
   in
@@ -64,7 +64,7 @@ let entails_log_gen ~support_set ~augmented_entails db part f =
   let counterexample = query_final f in
   {
     answer = not counterexample;
-    sigma2_queries = !Stats.sigma2_calls - before;
+    sigma2_queries = (Stats.snapshot ()).Stats.sigma2 - before;
     p_size;
   }
 
@@ -87,10 +87,10 @@ let entails_log_in eng db part f =
 let entails_linear db part f =
   if Formula.max_atom f >= Partition.universe_size part then
     invalid_arg "Oracle_algorithms.entails_linear: query atom outside partition";
-  let before = !Stats.sigma2_calls in
+  let before = (Stats.snapshot ()).Stats.sigma2 in
   let theory = Db.theory db in
   let supported x =
-    incr Stats.sigma2_calls;
+    Stats.bump_sigma2 ();
     Option.is_some
       (Minimal.find_minimal_such_that ~extra:[ [ Lit.Pos x ] ] theory part)
   in
@@ -101,11 +101,11 @@ let entails_linear db part f =
       (Interp.empty (Db.num_vars db))
   in
   let negs = Interp.diff (Partition.p part) support in
-  incr Stats.sigma2_calls;
+  Stats.bump_sigma2 ();
   let answer = Mm.augmented_entails db negs f in
   {
     answer;
-    sigma2_queries = !Stats.sigma2_calls - before;
+    sigma2_queries = (Stats.snapshot ()).Stats.sigma2 - before;
     p_size = Interp.cardinal (Partition.p part);
   }
 

@@ -50,3 +50,24 @@ let find name = find_among all name
 let find_in eng name = find_among (all_in eng) name
 
 let names = List.map (fun (s : Semantics.t) -> s.Semantics.name) all
+
+let applicable_names db =
+  List.filter_map
+    (fun (s : Semantics.t) ->
+      if s.Semantics.applicable db then Some s.Semantics.name else None)
+    all
+
+(* Batch entry points: one-shot evaluation by name on a caller-supplied
+   engine.  The domain-parallel batch layer calls these (or the records
+   from [all_in], which it caches per worker shard) on per-domain engines;
+   they are also the sequential baseline its determinism tests compare
+   against. *)
+
+let in_exn eng name =
+  match find_in eng name with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Registry: unknown semantics %S" name)
+
+let infer_literal_in eng ~sem db l = (in_exn eng sem).Semantics.infer_literal db l
+let infer_formula_in eng ~sem db f = (in_exn eng sem).Semantics.infer_formula db f
+let has_model_in eng ~sem db = (in_exn eng sem).Semantics.has_model db

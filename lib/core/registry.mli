@@ -12,3 +12,21 @@ val all_in : Ddb_engine.Engine.t -> Semantics.t list
 val find : string -> Semantics.t option
 val find_in : Ddb_engine.Engine.t -> string -> Semantics.t option
 val names : string list
+
+val applicable_names : Ddb_db.Db.t -> string list
+(** Names of the semantics applicable to the database, in registry order. *)
+
+(** {1 Batch entry points}
+
+    One-shot evaluation by semantics name on a caller-supplied engine —
+    what the domain-parallel batch layer ([Ddb_parallel.Batch]) runs on its
+    per-worker engine shards, and the sequential baseline its determinism
+    tests compare against.  Unknown names raise [Invalid_argument]. *)
+
+val infer_literal_in :
+  Ddb_engine.Engine.t -> sem:string -> Ddb_db.Db.t -> Ddb_logic.Lit.t -> bool
+
+val infer_formula_in :
+  Ddb_engine.Engine.t -> sem:string -> Ddb_db.Db.t -> Ddb_logic.Formula.t -> bool
+
+val has_model_in : Ddb_engine.Engine.t -> sem:string -> Ddb_db.Db.t -> bool

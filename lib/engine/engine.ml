@@ -490,6 +490,62 @@ let per_scope t =
   Hashtbl.fold (fun name c acc -> stats_of_counters name c :: acc) t.per_scope []
   |> List.sort (fun a b -> String.compare a.scope b.scope)
 
+(* --- cross-shard aggregation ---
+
+   The parallel batch layer runs one engine per worker domain; summing the
+   shards' records field-wise reproduces what a single engine would have
+   recorded for the same query multiset (exactly so for cache-disabled
+   shards, whose per-query costs are deterministic and context-free). *)
+
+let add_stats ~scope a b =
+  {
+    scope;
+    oracle_calls = a.oracle_calls + b.oracle_calls;
+    cache_hits = a.cache_hits + b.cache_hits;
+    cache_misses = a.cache_misses + b.cache_misses;
+    sat_solve_calls = a.sat_solve_calls + b.sat_solve_calls;
+    sigma2_queries = a.sigma2_queries + b.sigma2_queries;
+    sat_conflicts = a.sat_conflicts + b.sat_conflicts;
+    sat_decisions = a.sat_decisions + b.sat_decisions;
+    sat_propagations = a.sat_propagations + b.sat_propagations;
+    wall_ms = a.wall_ms +. b.wall_ms;
+  }
+
+let zero_stats scope =
+  {
+    scope;
+    oracle_calls = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    sat_solve_calls = 0;
+    sigma2_queries = 0;
+    sat_conflicts = 0;
+    sat_decisions = 0;
+    sat_propagations = 0;
+    wall_ms = 0.;
+  }
+
+let merge_stats engines =
+  List.fold_left
+    (fun acc t -> add_stats ~scope:"total" acc (totals t))
+    (zero_stats "total") engines
+
+let merge_per_scope engines =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun t ->
+      List.iter
+        (fun s ->
+          let acc =
+            Option.value (Hashtbl.find_opt tbl s.scope)
+              ~default:(zero_stats s.scope)
+          in
+          Hashtbl.replace tbl s.scope (add_stats ~scope:s.scope acc s))
+        (per_scope t))
+    engines;
+  Hashtbl.fold (fun _ s acc -> s :: acc) tbl []
+  |> List.sort (fun a b -> String.compare a.scope b.scope)
+
 let pp_stats ppf s =
   Fmt.pf ppf
     "%s: oracle=%d hits=%d misses=%d sat=%d sigma2=%d conflicts=%d \
@@ -521,14 +577,26 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let stats_json t =
+let stats_json_parts ~cache ~theories ~total ~scopes =
   let scopes =
-    per_scope t
+    scopes
     |> List.map (fun s ->
            Printf.sprintf {|"%s":%s|} (json_escape s.scope) (json_of_stats s))
     |> String.concat ","
   in
   Printf.sprintf {|{"cache":%b,"theories":%d,"total":%s,"per_semantics":{%s}}|}
-    t.cache t.next_key
-    (json_of_stats (totals t))
-    scopes
+    cache theories (json_of_stats total) scopes
+
+let stats_json t =
+  stats_json_parts ~cache:t.cache ~theories:t.next_key ~total:(totals t)
+    ~scopes:(per_scope t)
+
+(* Merged shard record, same schema as [stats_json]: [cache] holds iff every
+   shard caches; [theories] counts hash-consed keys summed over the shards
+   (each shard hash-conses independently). *)
+let merged_stats_json engines =
+  stats_json_parts
+    ~cache:(List.for_all cache_enabled engines && engines <> [])
+    ~theories:(List.fold_left (fun acc t -> acc + t.next_key) 0 engines)
+    ~total:(merge_stats engines)
+    ~scopes:(merge_per_scope engines)

@@ -117,6 +117,22 @@ val totals : t -> stats
 val per_scope : t -> stats list
 (** Per-semantics buckets, sorted by scope name. *)
 
+(** {2 Cross-shard aggregation}
+
+    The parallel batch layer ([Ddb_parallel]) runs one engine per worker
+    domain; these fold the shards' records field-wise so instrumentation
+    sums correctly and the JSON schema is unchanged. *)
+
+val merge_stats : t list -> stats
+(** Field-wise sum of every engine's {!totals} (scope ["total"]). *)
+
+val merge_per_scope : t list -> stats list
+(** Per-semantics buckets summed across the engines, sorted by scope. *)
+
+val merged_stats_json : t list -> string
+(** Same schema as {!stats_json}: [cache] holds iff every shard caches,
+    [theories] sums the shards' hash-consed key counts. *)
+
 val pp_stats : Format.formatter -> stats -> unit
 
 val json_of_stats : stats -> string

@@ -1,0 +1,132 @@
+open Ddb_logic
+open Ddb_db
+open Ddb_core
+module Engine = Ddb_engine.Engine
+
+(* Domain-parallel batch evaluation: one oracle engine per pool worker.
+
+   The engine is memoizing and stateful, so sharing one across domains
+   would race on every table; instead worker [i] owns engine [i] and the
+   pool's stable worker indices guarantee single-domain access.  Shards
+   warm their caches independently (a query answered from shard 0's memo
+   table is recomputed by shard 3 the first time it lands there) — that is
+   the price of lock-freedom, and exactly what [Engine.merge_stats]
+   quantifies: merged cache hits drop as jobs grow, merged oracle answers
+   do not change.
+
+   The semantics records ([Registry.all_in engine]) are built once per
+   shard at creation; sweeps only look them up by name. *)
+
+type t = {
+  pool : Pool.t;
+  engines : Engine.t array;
+  sems : (string * Semantics.t) list array; (* per worker, registry order *)
+}
+
+let create ?jobs ?(cache = true) () =
+  let pool = Pool.create ?jobs () in
+  let engines =
+    Array.init (Pool.jobs pool) (fun _ -> Engine.create ~cache ())
+  in
+  let sems =
+    Array.map
+      (fun eng ->
+        List.map
+          (fun (s : Semantics.t) -> (s.Semantics.name, s))
+          (Registry.all_in eng))
+      engines
+  in
+  { pool; engines; sems }
+
+let jobs t = Pool.jobs t.pool
+let engines t = Array.to_list t.engines
+let shutdown t = Pool.shutdown t.pool
+
+let with_batch ?jobs ?cache f =
+  let t = create ?jobs ?cache () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let sem_for t ~worker name =
+  match List.assoc_opt name t.sems.(worker) with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Batch: unknown semantics %S" name)
+
+let default_sems db = function
+  | Some names -> names
+  | None -> Registry.applicable_names db
+
+(* All ± literals of the universe, ¬x before x, ascending atoms — the fixed
+   query order every sweep (and the sequential baseline) uses, so results
+   can be compared position-wise. *)
+let pm_literals db =
+  List.concat_map
+    (fun x -> [ Lit.Neg x; Lit.Pos x ])
+    (List.init (Db.num_vars db) Fun.id)
+
+let literal_sweep t ?sems db =
+  let names = default_sems db sems in
+  let lits = pm_literals db in
+  let items = List.concat_map (fun n -> List.map (fun l -> (n, l)) lits) names in
+  let answers =
+    Parallel.map_chunked_in t.pool
+      (fun ~worker (name, l) ->
+        (sem_for t ~worker name).Semantics.infer_literal db l)
+      items
+  in
+  (* items are name-major: cut the flat answer list back per semantics *)
+  let per_sem = List.length lits in
+  let rec split names answers =
+    match names with
+    | [] -> []
+    | name :: rest ->
+      let mine = List.filteri (fun i _ -> i < per_sem) answers in
+      let others = List.filteri (fun i _ -> i >= per_sem) answers in
+      (name, List.combine lits mine) :: split rest others
+  in
+  split names answers
+
+let all_semantics t ?sems db f =
+  let names = default_sems db sems in
+  Parallel.map_chunked_in t.pool ~chunk_size:1
+    (fun ~worker name ->
+      (name, (sem_for t ~worker name).Semantics.infer_formula db f))
+    names
+
+let exists_sweep t ?sems db =
+  let names = default_sems db sems in
+  Parallel.map_chunked_in t.pool ~chunk_size:1
+    (fun ~worker name ->
+      (name, (sem_for t ~worker name).Semantics.has_model db))
+    names
+
+let instance_sweep t ?sems dbs =
+  let items =
+    List.concat_map
+      (fun db -> List.map (fun name -> (db, name)) (default_sems db sems))
+      dbs
+  in
+  let swept =
+    Parallel.map_chunked_in t.pool ~chunk_size:1
+      (fun ~worker (db, name) ->
+        let s = sem_for t ~worker name in
+        ( name,
+          List.map (fun l -> (l, s.Semantics.infer_literal db l)) (pm_literals db)
+        ))
+      items
+  in
+  (* regroup the flat (instance-major) result per instance *)
+  let rec split dbs swept =
+    match dbs with
+    | [] -> []
+    | db :: rest ->
+      let k = List.length (default_sems db sems) in
+      let mine = List.filteri (fun i _ -> i < k) swept in
+      let others = List.filteri (fun i _ -> i >= k) swept in
+      mine :: split rest others
+  in
+  split dbs swept
+
+let totals t = Engine.merge_stats (engines t)
+let per_scope t = Engine.merge_per_scope (engines t)
+let stats_json t = Engine.merged_stats_json (engines t)
+let reset t = Array.iter Engine.reset t.engines

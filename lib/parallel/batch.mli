@@ -1,0 +1,67 @@
+open Ddb_logic
+open Ddb_db
+
+(** Domain-parallel batch evaluation over sharded oracle engines.
+
+    {!Ddb_engine.Engine.t} is stateful and memoizing (hash-consed keys,
+    per-theory incremental solvers) and not thread-safe, so a batch context
+    owns one engine {e per pool worker}; every task runs against the engine
+    of the worker executing it, and instrumentation is aggregated with
+    {!Ddb_engine.Engine.merge_stats} so the stats JSON schema is unchanged.
+
+    All sweeps are order-stable (index-tagged chunks reassembled by
+    position, see {!Parallel}): answers are bit-identical for every job
+    count, and equal to the sequential [Registry.all_in] path — a qcheck
+    property in [test/test_parallel.ml].
+
+    Databases are shared across workers read-only; do not grow a database's
+    vocabulary concurrently with a sweep. *)
+
+type t
+
+val create : ?jobs:int -> ?cache:bool -> unit -> t
+(** [jobs] defaults to {!Pool.recommended_jobs}; [cache] (default [true])
+    is the engines' memoization flag, as in {!Ddb_engine.Engine.create}. *)
+
+val jobs : t -> int
+val engines : t -> Ddb_engine.Engine.t list
+
+val shutdown : t -> unit
+val with_batch : ?jobs:int -> ?cache:bool -> (t -> 'a) -> 'a
+
+(** {1 Sweeps}
+
+    [sems] selects semantics by registry name and defaults to every
+    semantics applicable to the database, in registry order.  Unknown names
+    raise [Invalid_argument]. *)
+
+val literal_sweep :
+  t -> ?sems:string list -> Db.t -> (string * (Lit.t * bool) list) list
+(** Every ± literal of the universe under every selected semantics
+    ([¬x] then [x], for [x = 0 .. n-1]) — the closed-world query workload
+    of [ddbtool stats], fanned out per (semantics, literal chunk). *)
+
+val all_semantics :
+  t -> ?sems:string list -> Db.t -> Formula.t -> (string * bool) list
+(** Formula inference under every selected semantics, one task each. *)
+
+val exists_sweep :
+  t -> ?sems:string list -> Db.t -> (string * bool) list
+(** Model existence under every selected semantics, one task each. *)
+
+val instance_sweep :
+  t -> ?sems:string list -> Db.t list -> (string * (Lit.t * bool) list) list list
+(** {!literal_sweep} over a list of instances, one task per
+    (instance, semantics) pair — the batch shape of the bench harness's
+    seeded random-DB sweeps.  Result [i] is instance [i]'s sweep. *)
+
+(** {1 Merged instrumentation} *)
+
+val totals : t -> Ddb_engine.Engine.stats
+val per_scope : t -> Ddb_engine.Engine.stats list
+val stats_json : t -> string
+(** {!Ddb_engine.Engine.merged_stats_json} of the shards. *)
+
+val reset : t -> unit
+(** {!Ddb_engine.Engine.reset} every shard: counters to zero, caches and
+    shared solvers dropped. *)

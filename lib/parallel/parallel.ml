@@ -1,0 +1,47 @@
+(* Order-stable chunked mapping over a work pool.
+
+   The input list is cut into contiguous chunks; chunk [i] is one pool task
+   that writes [List.map f chunk] into slot [i] of a result array; after the
+   exception-safe join the slots are concatenated in index order.  The
+   dynamic part (which worker picks which chunk) is invisible in the output,
+   so [jobs:1] and [jobs:k] produce the same list for any deterministic [f].
+
+   Memory-model note: each slot is written by exactly one worker, and the
+   submitter only reads the slots after Pool.run's join (worker decrements
+   the pending count under the pool mutex after the write; the submitter
+   re-reads it under the same mutex) — the writes are properly published. *)
+
+let chunk_list ~chunk_size xs =
+  let rec go acc cur k = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | x :: rest ->
+      if k + 1 >= chunk_size then go (List.rev (x :: cur) :: acc) [] 0 rest
+      else go acc (x :: cur) (k + 1) rest
+  in
+  go [] [] 0 xs
+
+let default_chunk_size ~jobs n = max 1 (n / (max 1 jobs * 4))
+
+let map_chunked_in pool ?chunk_size f xs =
+  let n = List.length xs in
+  if n = 0 then []
+  else begin
+    let chunk_size =
+      match chunk_size with
+      | Some c -> max 1 c
+      | None -> default_chunk_size ~jobs:(Pool.jobs pool) n
+    in
+    let chunks = Array.of_list (chunk_list ~chunk_size xs) in
+    let slots = Array.make (Array.length chunks) [] in
+    Pool.run pool
+      (List.init (Array.length chunks) (fun i worker ->
+           slots.(i) <- List.map (fun x -> f ~worker x) chunks.(i)));
+    List.concat (Array.to_list slots)
+  end
+
+let iter_chunked_in pool ?chunk_size f xs =
+  ignore (map_chunked_in pool ?chunk_size (fun ~worker x -> f ~worker x) xs)
+
+let map_chunked ?jobs ?chunk_size f xs =
+  Pool.with_pool ?jobs (fun pool ->
+      map_chunked_in pool ?chunk_size (fun ~worker:_ x -> f x) xs)

@@ -1,0 +1,24 @@
+(** Order-stable data-parallel mapping over a {!Pool}.
+
+    Inputs are split into index-tagged chunks; each chunk is one pool task
+    and writes its mapped slice into its own slot; the slots are reassembled
+    by chunk position after the join.  Results are therefore identical for
+    every job count — which worker computed a chunk never shows in the
+    output — and a deterministic mapping function makes the whole map
+    deterministic. *)
+
+val map_chunked :
+  ?jobs:int -> ?chunk_size:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map_chunked f xs] maps [f] over [xs] on an ephemeral pool of [jobs]
+    workers (default {!Pool.recommended_jobs}), preserving order.  The
+    default [chunk_size] aims at ~4 chunks per worker so the queue
+    load-balances uneven task costs. *)
+
+val map_chunked_in :
+  Pool.t -> ?chunk_size:int -> (worker:int -> 'a -> 'b) -> 'a list -> 'b list
+(** Same, on an existing pool; the mapping function additionally receives
+    the index of the worker running it — the hook the batch layer uses to
+    pick the worker's own engine shard. *)
+
+val iter_chunked_in :
+  Pool.t -> ?chunk_size:int -> (worker:int -> 'a -> unit) -> 'a list -> unit

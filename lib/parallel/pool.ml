@@ -1,0 +1,117 @@
+(* A fixed pool of Domain.t workers over a shared task queue (stdlib only:
+   Domain + Mutex + Condition).
+
+   Tasks are closures [int -> unit] applied to the index of the worker that
+   runs them.  Worker indices are stable for the pool's lifetime, which is
+   the property the batch layer builds on: anything indexed by worker (an
+   oracle engine shard, a scratch buffer) is only ever touched from one
+   domain, so no shared mutable state needs to be thread-safe.
+
+   Synchronization is deliberately boring: one mutex guards the queue and
+   the unfinished-task count; [work] wakes idle workers, [finished] wakes
+   the submitter blocked in [run].  Determinism of *results* is not the
+   pool's job — callers tag tasks with positions and reassemble (see
+   {!Parallel.map_chunked}); the pool only guarantees that every submitted
+   task runs exactly once and that [run] returns after all of them. *)
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  work : Condition.t;
+  finished : Condition.t;
+  tasks : (int -> unit) Queue.t;
+  mutable unfinished : int;
+  mutable stop : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let recommended_jobs () = Domain.recommended_domain_count ()
+
+let worker t index =
+  let rec loop () =
+    Mutex.lock t.mutex;
+    while Queue.is_empty t.tasks && not t.stop do
+      Condition.wait t.work t.mutex
+    done;
+    if Queue.is_empty t.tasks then Mutex.unlock t.mutex (* stop *)
+    else begin
+      let task = Queue.pop t.tasks in
+      Mutex.unlock t.mutex;
+      (* [run] wraps tasks so they cannot raise; a raise here would kill the
+         worker domain, so treat it as a programming error and swallow. *)
+      (try task index with _ -> ());
+      Mutex.lock t.mutex;
+      t.unfinished <- t.unfinished - 1;
+      if t.unfinished = 0 then Condition.broadcast t.finished;
+      Mutex.unlock t.mutex;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ?jobs () =
+  let jobs = max 1 (Option.value jobs ~default:(recommended_jobs ())) in
+  let t =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      finished = Condition.create ();
+      tasks = Queue.create ();
+      unfinished = 0;
+      stop = false;
+      domains = [];
+    }
+  in
+  if jobs > 1 then
+    t.domains <- List.init jobs (fun i -> Domain.spawn (fun () -> worker t i));
+  t
+
+let jobs t = t.jobs
+
+let run t fs =
+  let fs = Array.of_list fs in
+  let n = Array.length fs in
+  if n = 0 then ()
+  else if t.domains = [] then begin
+    (* single-job pool: inline on the caller as worker 0, with the same
+       drain-then-raise contract as the multi-domain path *)
+    if t.stop then invalid_arg "Pool.run: pool is shut down";
+    let errors = Array.make n None in
+    Array.iteri (fun i f -> try f 0 with e -> errors.(i) <- Some e) fs;
+    Array.iter (function Some e -> raise e | None -> ()) errors
+  end
+  else begin
+    let errors = Array.make n None in
+    Mutex.lock t.mutex;
+    if t.stop then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Pool.run: pool is shut down"
+    end;
+    t.unfinished <- t.unfinished + n;
+    Array.iteri
+      (fun i f ->
+        Queue.add
+          (fun w -> try f w with e -> errors.(i) <- Some e)
+          t.tasks)
+      fs;
+    Condition.broadcast t.work;
+    while t.unfinished > 0 do
+      Condition.wait t.finished t.mutex
+    done;
+    Mutex.unlock t.mutex;
+    Array.iter (function Some e -> raise e | None -> ()) errors
+  end
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stop <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.mutex;
+  let ds = t.domains in
+  t.domains <- [];
+  List.iter Domain.join ds
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

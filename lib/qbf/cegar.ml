@@ -12,7 +12,7 @@ open Ddb_sat
        validity, otherwise sigma_Y refines the abstraction.
 
    forall-X exists-Y phi is solved as the negation of an exists-forall
-   instance.  Every call bumps [Stats.sigma2_calls]: this function *is* the
+   instance.  Every call bumps [Stats.bump_sigma2]: this function *is* the
    Sigma-2 oracle of the complexity harness. *)
 
 exception Too_many_rounds
@@ -61,7 +61,7 @@ let valid_exists_forall ?(max_rounds = max_int) ~num_vars ~xs ~ys matrix =
         add_constraint (substitute_block sigma_y ys matrix);
         loop (round + 1))
   in
-  incr Stats.sigma2_calls;
+  Stats.bump_sigma2 ();
   loop 0
 
 let valid ?max_rounds t =

@@ -2,7 +2,7 @@ open Ddb_logic
 
 (** CEGAR 2-QBF solver on top of the CDCL SAT solver — the realization of
     the Σ₂ᵖ oracle.  Every validity query bumps
-    [Ddb_sat.Stats.sigma2_calls]. *)
+    [Ddb_sat.Stats.bump_sigma2].  *)
 
 exception Too_many_rounds
 

@@ -153,7 +153,7 @@ let propagate t =
     let p = t.trail.(t.qhead) in
     t.qhead <- t.qhead + 1;
     t.propagations <- t.propagations + 1;
-    incr Stats.propagations;
+    Stats.bump_propagation ();
     let false_lit = Cnf.plit_negate p in
     let pending = t.watches.(false_lit) in
     t.watches.(false_lit) <- [];
@@ -359,7 +359,7 @@ exception Assumption_failed
 
 let solve ?(assumptions = []) t =
   t.solve_calls <- t.solve_calls + 1;
-  incr Stats.sat_calls;
+  Stats.bump_sat ();
   backtrack t 0;
   if t.root_unsat then Unsat
   else if propagate t >= 0 then begin
@@ -383,7 +383,7 @@ let solve ?(assumptions = []) t =
              let confl = propagate t in
              if confl >= 0 then begin
                t.conflicts <- t.conflicts + 1;
-               incr Stats.conflicts;
+               Stats.bump_conflict ();
                incr conflicts_here;
                if t.n_levels <= 0 then begin
                  t.root_unsat <- true;
@@ -422,7 +422,7 @@ let solve ?(assumptions = []) t =
                  let v = pick_branch_var t in
                  if v < 0 then raise Found_sat;
                  t.decisions <- t.decisions + 1;
-                 incr Stats.decisions;
+                 Stats.bump_decision ();
                  new_decision_level t;
                  let l =
                    if t.saved_phase.(v) then Cnf.plit_pos v else Cnf.plit_neg v

@@ -1,18 +1,52 @@
-(* Global oracle-call counters for the empirical complexity harness.
+(* Oracle-call counters for the empirical complexity harness.
 
-   [sat_calls] is bumped by every [Solver.solve]; higher-level oracles (the
-   Sigma-2 oracle in lib/core) bump [sigma2_calls].  The solver additionally
-   mirrors its per-instance search effort (conflicts, decisions,
-   propagations) into global counters so that callers — in particular the
-   memoizing oracle engine — can attribute solver work to a scope without
-   holding a reference to every solver ever created.  Benches snapshot, run
-   a task, and report the deltas. *)
+   [bump_sat] is called by every [Solver.solve]; higher-level oracles (the
+   Sigma-2 oracle in lib/core and lib/qbf) call [bump_sigma2].  The solver
+   additionally mirrors its per-instance search effort (conflicts,
+   decisions, propagations) into these counters so that callers — in
+   particular the memoizing oracle engine — can attribute solver work to a
+   scope without holding a reference to every solver ever created.  Benches
+   snapshot, run a task, and report the deltas.
 
-let sat_calls = ref 0
-let sigma2_calls = ref 0
-let conflicts = ref 0
-let decisions = ref 0
-let propagations = ref 0
+   The counters are domain-local (Domain.DLS): each domain of the parallel
+   batch layer accumulates its own set, so concurrent workers never race on
+   an increment and a snapshot/delta window taken on one domain is exact for
+   the work that domain did.  Aggregation across domains is explicit:
+   [merge] sums snapshots collected per shard. *)
+
+type counters = {
+  mutable sat : int;
+  mutable sigma2 : int;
+  mutable conflicts : int;
+  mutable decisions : int;
+  mutable propagations : int;
+}
+
+let key =
+  Domain.DLS.new_key (fun () ->
+      { sat = 0; sigma2 = 0; conflicts = 0; decisions = 0; propagations = 0 })
+
+let counters () = Domain.DLS.get key
+
+let bump_sat () =
+  let c = counters () in
+  c.sat <- c.sat + 1
+
+let bump_sigma2 () =
+  let c = counters () in
+  c.sigma2 <- c.sigma2 + 1
+
+let bump_conflict () =
+  let c = counters () in
+  c.conflicts <- c.conflicts + 1
+
+let bump_decision () =
+  let c = counters () in
+  c.decisions <- c.decisions + 1
+
+let bump_propagation () =
+  let c = counters () in
+  c.propagations <- c.propagations + 1
 
 type snapshot = {
   sat : int;
@@ -22,30 +56,47 @@ type snapshot = {
   propagations : int;
 }
 
+let zero = { sat = 0; sigma2 = 0; conflicts = 0; decisions = 0; propagations = 0 }
+
 let snapshot () =
+  let c = counters () in
   {
-    sat = !sat_calls;
-    sigma2 = !sigma2_calls;
-    conflicts = !conflicts;
-    decisions = !decisions;
-    propagations = !propagations;
+    sat = c.sat;
+    sigma2 = c.sigma2;
+    conflicts = c.conflicts;
+    decisions = c.decisions;
+    propagations = c.propagations;
   }
 
 let delta before =
+  let now = snapshot () in
   {
-    sat = !sat_calls - before.sat;
-    sigma2 = !sigma2_calls - before.sigma2;
-    conflicts = !conflicts - before.conflicts;
-    decisions = !decisions - before.decisions;
-    propagations = !propagations - before.propagations;
+    sat = now.sat - before.sat;
+    sigma2 = now.sigma2 - before.sigma2;
+    conflicts = now.conflicts - before.conflicts;
+    decisions = now.decisions - before.decisions;
+    propagations = now.propagations - before.propagations;
   }
 
+let merge snaps =
+  List.fold_left
+    (fun acc s ->
+      {
+        sat = acc.sat + s.sat;
+        sigma2 = acc.sigma2 + s.sigma2;
+        conflicts = acc.conflicts + s.conflicts;
+        decisions = acc.decisions + s.decisions;
+        propagations = acc.propagations + s.propagations;
+      })
+    zero snaps
+
 let reset () =
-  sat_calls := 0;
-  sigma2_calls := 0;
-  conflicts := 0;
-  decisions := 0;
-  propagations := 0
+  let c = counters () in
+  c.sat <- 0;
+  c.sigma2 <- 0;
+  c.conflicts <- 0;
+  c.decisions <- 0;
+  c.propagations <- 0
 
 let pp ppf s =
   Fmt.pf ppf "sat=%d sigma2=%d conflicts=%d decisions=%d propagations=%d"

@@ -399,6 +399,46 @@ let poly_no_oracle_unit =
         check "no oracle" true ((Ddb_sat.Stats.delta before).Ddb_sat.Stats.sat = 0));
   ]
 
+(* The poly shortcut's precondition: it is only sound without integrity
+   clauses (Example 3.1), and [Ddr] enforces that with Invalid_argument. *)
+let ddr_poly_precondition_unit =
+  [
+    Alcotest.test_case "entails_neg_literal_poly rejects integrity clauses"
+      `Quick (fun () ->
+        let db = Db.of_string "a | b. :- a, b." in
+        Alcotest.check_raises "precondition"
+          (Invalid_argument
+             "Ddr.entails_neg_literal_poly: integrity clauses present")
+          (fun () -> ignore (Ddr.entails_neg_literal_poly db 0)));
+    Alcotest.test_case "entails_neg_literal_poly rejects negation" `Quick
+      (fun () ->
+        let db = Db.of_string "a :- not b." in
+        Alcotest.check_raises "DDDB only"
+          (Invalid_argument "Ddr: the DDR is defined for DDDBs (no negation)")
+          (fun () -> ignore (Ddr.entails_neg_literal_poly db 0)));
+    Alcotest.test_case "atoms outside the universe are trivially negated"
+      `Quick (fun () ->
+        let db = Db.of_string "a | b." in
+        check "x >= n" true (Ddr.entails_neg_literal_poly db (Db.num_vars db)));
+  ]
+
+(* On integrity-clause-free DDDBs the shortcut must agree with both literal
+   entry points: [infer_literal] (which routes negatives through it) and the
+   general SAT path [infer_formula] on ¬x. *)
+let qcheck_ddr_poly_agrees =
+  QCheck.Test.make ~count:250
+    ~name:"DDR poly shortcut = infer_literal = infer_formula (no ICs)"
+    QCheck.(pair (int_bound 999999) (int_range 1 5))
+    (fun (seed, num_vars) ->
+      let rand = Random.State.make [| seed |] in
+      let db = Gen.positive_db rand ~num_vars ~num_clauses:(num_vars * 2) in
+      List.for_all
+        (fun x ->
+          let poly = Ddr.entails_neg_literal_poly db x in
+          poly = Ddr.infer_literal db (Lit.Neg x)
+          && poly = Ddr.infer_formula db (Formula.Not (Formula.Atom x)))
+        (List.init num_vars Fun.id))
+
 (* --- paper Example 3.1: DDR vs GCWA on integrity-blind inference --- *)
 
 let example_31 =
@@ -448,6 +488,7 @@ let suites =
         ] );
     ( "semantics.tractable",
       QCheck_alcotest.to_alcotest qcheck_ddr_pws_poly_literal
-      :: poly_no_oracle_unit );
+      :: QCheck_alcotest.to_alcotest qcheck_ddr_poly_agrees
+      :: (poly_no_oracle_unit @ ddr_poly_precondition_unit) );
     ("semantics.example31", example_31);
   ]
