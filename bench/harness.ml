@@ -268,6 +268,19 @@ let table2_cells : cell list =
       instance = nrm; run = Pdsm.has_model };
   ]
 
+module Trace = Ddb_obs.Trace
+
+(* Cell → trace-file stem: "ccwa" + "literal inference" → "ccwa_literal". *)
+let sanitize s =
+  String.map
+    (fun c ->
+      if (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') then c else '_')
+    (String.lowercase_ascii s)
+
+let cell_trace_file ~prefix ~tag cell =
+  Printf.sprintf "%s_%s_%s_%s.json" prefix tag cell.semantics
+    (sanitize (Classes.task_to_string cell.task))
+
 (* Cells are measured through the domain pool (one cell per task; each
    cell's seeded instances and solver state live entirely in the worker
    that runs it, and the DLS stats counters keep the per-cell oracle
@@ -275,27 +288,49 @@ let table2_cells : cell list =
    is identical for every job count; jobs:1 is the historical sequential
    path.  Note that wall-clock times measured with jobs > 1 on a loaded
    or small machine include scheduling noise — use jobs:1 when the ladder
-   shape itself is the result. *)
-let print_table ?(jobs = 1) ~title ~setting cells =
+   shape itself is the result.
+
+   With [trace_prefix] the cells run sequentially instead (a per-cell
+   trace interleaved across workers would be misattributed), one Chrome
+   trace-event JSON per ladder cell under
+   [<prefix>_<table>_<semantics>_<task>.json]. *)
+let print_table ?(jobs = 1) ?trace_prefix ~tag ~title ~setting cells =
   Fmt.pr "@.=== %s ===@." title;
   Fmt.pr "  (time averaged over %d seeded instances; 'sat' = NP-oracle calls, 's2' = Sigma2-oracle queries)@."
     repetitions;
-  if jobs > 1 then
-    Fmt.pr "  (cells measured across %d worker domains)@." jobs;
   let rows =
-    Ddb_parallel.Parallel.map_chunked ~jobs ~chunk_size:1
-      (fun cell -> run_cell cell)
-      cells
+    match trace_prefix with
+    | None ->
+      if jobs > 1 then
+        Fmt.pr "  (cells measured across %d worker domains)@." jobs;
+      Ddb_parallel.Parallel.map_chunked ~jobs ~chunk_size:1
+        (fun cell -> run_cell cell)
+        cells
+    | Some prefix ->
+      Fmt.pr "  (tracing: sequential run, one trace file per cell)@.";
+      List.map
+        (fun cell ->
+          Trace.start ();
+          let r = run_cell cell in
+          Trace.stop ();
+          Trace.write_file (cell_trace_file ~prefix ~tag cell);
+          r)
+        cells
   in
-  List.iter2 (fun cell results -> print_cell ~setting cell results) cells rows
+  List.iter2 (fun cell results -> print_cell ~setting cell results) cells rows;
+  match trace_prefix with
+  | Some prefix ->
+    Fmt.pr "  wrote %d trace file(s) under %s_%s_*.json@."
+      (List.length cells) prefix tag
+  | None -> ()
 
-let table1 ?jobs () =
-  print_table ?jobs
+let table1 ?jobs ?trace_prefix () =
+  print_table ?jobs ?trace_prefix ~tag:"table1"
     ~title:"Table 1: positive propositional DDBs (no integrity clauses, no negation)"
     ~setting:Classes.Table1 table1_cells
 
-let table2 ?jobs () =
-  print_table ?jobs
+let table2 ?jobs ?trace_prefix () =
+  print_table ?jobs ?trace_prefix ~tag:"table2"
     ~title:"Table 2: propositional DDBs (with integrity clauses)"
     ~setting:Classes.Table2 table2_cells
 
@@ -311,6 +346,11 @@ let table2 ?jobs () =
 
 module Engine = Ddb_engine.Engine
 
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, (Unix.gettimeofday () -. t0) *. 1000.)
+
 (* PDSM enumerates 3^V interpretations: keep its universe tiny. *)
 let engine_universe name = if name = "pdsm" then 4 else 10
 
@@ -325,9 +365,55 @@ let engine_workload (s : Semantics.t) db =
     ignore (s.Semantics.has_model db)
   done
 
+(* The cached closed-world workload over every semantics, on a fresh
+   engine — the timing target for the observability-overhead check. *)
+let full_engine_workload () =
+  let eng = Engine.create ~cache:true () in
+  List.iter
+    (fun (s : Semantics.t) ->
+      let db =
+        Random_db.positive ~seed:7
+          ~num_vars:(engine_universe s.Semantics.name)
+      in
+      engine_workload s db)
+    (Registry.all_in eng)
+
+(* Every probe the obs layer added to the hot paths is gated on one flag,
+   so with tracing off the instrumented build should time like an
+   uninstrumented one.  We cannot rerun the pre-instrumentation binary
+   here; what we CAN measure is (a) run-to-run noise of the disabled path
+   (two identical disabled runs — their delta bounds what a ≤2% budget
+   even means on this machine) and (b) the cost of actually turning
+   tracing on.  Reported and exported with the section JSON. *)
+let observability_overhead ?trace_prefix () =
+  let () = ignore (wall full_engine_workload) (* warm-up: code + allocator *) in
+  let (), disabled1 = wall full_engine_workload in
+  let (), disabled2 = wall full_engine_workload in
+  Trace.start ();
+  let (), traced_ms = wall full_engine_workload in
+  Trace.stop ();
+  let traced_events = Trace.events_recorded () in
+  (match trace_prefix with
+  | Some p -> Trace.write_file (p ^ "_engine.json")
+  | None -> ());
+  let base = Float.min disabled1 disabled2 in
+  let pct x = if base > 0. then (x -. base) /. base *. 100. else 0. in
+  Fmt.pr "@.  observability overhead (full cached workload):@.";
+  Fmt.pr "    probes disabled: %8.2fms / %8.2fms  (run-to-run delta %+.1f%%)@."
+    disabled1 disabled2
+    (pct (Float.max disabled1 disabled2));
+  Fmt.pr "    trace enabled:   %8.2fms  (%+.1f%% vs disabled; %d events)@."
+    traced_ms (pct traced_ms) traced_events;
+  (match trace_prefix with
+  | Some p -> Fmt.pr "    wrote %s_engine.json@." p
+  | None -> ());
+  Printf.sprintf
+    {|{"disabled_ms":[%.3f,%.3f],"traced_ms":%.3f,"traced_events":%d}|}
+    disabled1 disabled2 traced_ms traced_events
+
 (* Prints the comparison table and returns the section as JSON (collected
    by main.exe --json). *)
-let engine_comparison () =
+let engine_comparison ?trace_prefix () =
   Fmt.pr "@.=== Engine ablation: memoizing oracle engine (cached vs direct) ===@.";
   Fmt.pr
     "  (per semantics: 2 passes of a full ± literal sweep + formula query on \
@@ -367,15 +453,16 @@ let engine_comparison () =
   Fmt.pr "  semantics with fewer SAT calls than the direct path: %d/%d@." wins
     (List.length Registry.names);
   Fmt.pr "@.--- engine stats JSON ---@.%s@." (Engine.stats_json cached);
+  let overhead_json = observability_overhead ?trace_prefix () in
   Printf.sprintf
-    {|{"per_semantics":[%s],"cached_wins":%d,"engine":%s}|}
+    {|{"per_semantics":[%s],"cached_wins":%d,"observability":%s,"engine":%s}|}
     (String.concat ","
        (List.map
           (fun (name, d, c) ->
             Printf.sprintf {|{"name":%S,"sat_direct":%d,"sat_cached":%d}|}
               name d c)
           rows))
-    wins (Engine.stats_json cached)
+    wins overhead_json (Engine.stats_json cached)
 
 (* ---- parallel: domain-pool batch sweeps vs the sequential path ----
 
@@ -395,12 +482,16 @@ let engine_comparison () =
 module Batch = Ddb_parallel.Batch
 module Pool = Ddb_parallel.Pool
 
-let wall f =
-  let t0 = Unix.gettimeofday () in
-  let r = f () in
-  (r, (Unix.gettimeofday () -. t0) *. 1000.)
+(* Shared "meta" header for the machine-readable outputs, so every
+   BENCH_*.json is self-describing.  No timestamp on purpose: outputs
+   stay byte-comparable across runs with the same seed/jobs. *)
+let meta_json ~seed ~jobs ~sems =
+  Printf.sprintf
+    {|{"schema_version":2,"generator":"bench/main.exe","seed":%d,"jobs":%d,"semantics":[%s]}|}
+    seed jobs
+    (String.concat "," (List.map (Printf.sprintf "%S") sems))
 
-let parallel_bench ?jobs () =
+let parallel_bench ?jobs ?trace_prefix () =
   let njobs =
     match jobs with
     | Some j -> max 1 j
@@ -466,9 +557,23 @@ let parallel_bench ?jobs () =
   if not identical then failwith "parallel_bench: answers diverged";
   if not counters_match then
     failwith "parallel_bench: merged direct counters diverged";
+  (* optional trace of one pinned jobs:N sweep — per-worker tid lanes with
+     deterministic task placement *)
+  (match trace_prefix with
+  | None -> ()
+  | Some prefix ->
+    Trace.start ();
+    Batch.with_batch ~jobs:njobs ~cache:true ~pinned:true (fun b ->
+        ignore (Batch.instance_sweep b ~sems dbs));
+    Trace.stop ();
+    let file = prefix ^ "_parallel.json" in
+    Trace.write_file file;
+    Fmt.pr "  wrote %s (%d events, %d worker lanes)@." file
+      (Trace.events_recorded ()) njobs);
   let json =
     Printf.sprintf
-      {|{"workload":{"instances":%d,"num_vars":%d,"semantics":[%s],"literal_queries":%d},"available_cores":%d,"runs":[{"mode":"sequential","wall_ms":%.3f},{"mode":"batch","jobs":1,"wall_ms":%.3f},{"mode":"batch","jobs":%d,"wall_ms":%.3f}],"speedup_vs_sequential":%.3f,"identical_results":%b,"direct_counters_match":%b,"merged_direct":{"oracle_calls":%d,"sat_solve_calls":%d,"sigma2_queries":%d}}|}
+      {|{"meta":%s,"workload":{"instances":%d,"num_vars":%d,"semantics":[%s],"literal_queries":%d},"available_cores":%d,"runs":[{"mode":"sequential","wall_ms":%.3f},{"mode":"batch","jobs":1,"wall_ms":%.3f},{"mode":"batch","jobs":%d,"wall_ms":%.3f}],"speedup_vs_sequential":%.3f,"identical_results":%b,"direct_counters_match":%b,"merged_direct":{"oracle_calls":%d,"sat_solve_calls":%d,"sigma2_queries":%d}}|}
+      (meta_json ~seed:100 ~jobs:njobs ~sems)
       instances num_vars
       (String.concat "," (List.map (Printf.sprintf "%S") sems))
       (List.length lits)

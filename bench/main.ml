@@ -16,16 +16,24 @@
                     ablation, parallel); default 1 so timing ladders keep
                     their historical sequential shape
      --json FILE    write the machine-readable sections (engine, parallel)
-                    to FILE as one JSON object
+                    to FILE as one JSON object with a self-describing
+                    "meta" header
+     --trace PREFIX write Chrome trace-event JSON files (Perfetto): one
+                    per ladder cell for table1/table2
+                    (PREFIX_<table>_<sem>_<task>.json), one for the engine
+                    section's traced workload (PREFIX_engine.json), one
+                    for a pinned jobs:N parallel sweep
+                    (PREFIX_parallel.json)
 
    See EXPERIMENTS.md for how each section maps to the paper's tables. *)
 
 let usage () =
   prerr_endline
-    "usage: main.exe [table1|table2|engine|oracle|reductions|ablation|extensions|bechamel|parallel|all] [--jobs N] [--json FILE]"
+    "usage: main.exe [table1|table2|engine|oracle|reductions|ablation|extensions|bechamel|parallel|all] [--jobs N] [--json FILE] [--trace PREFIX]"
 
 let () =
   let mode = ref "all" and jobs = ref None and json_path = ref None in
+  let trace_prefix = ref None in
   let rec parse = function
     | [] -> ()
     | "--jobs" :: n :: rest ->
@@ -38,7 +46,10 @@ let () =
     | "--json" :: path :: rest ->
       json_path := Some path;
       parse rest
-    | ("--jobs" | "--json") :: [] ->
+    | "--trace" :: prefix :: rest ->
+      trace_prefix := Some prefix;
+      parse rest
+    | ("--jobs" | "--json" | "--trace") :: [] ->
       usage ();
       exit 1
     | m :: rest ->
@@ -47,6 +58,7 @@ let () =
   in
   parse (List.tl (Array.to_list Sys.argv));
   let mode = !mode and jobs = !jobs in
+  let trace_prefix = !trace_prefix in
   let all = mode = "all" in
   let ran = ref false in
   let json_sections = ref [] in
@@ -62,23 +74,28 @@ let () =
         let json = f () in
         json_sections := (name, json) :: !json_sections)
   in
-  section "table1" (Harness.table1 ?jobs);
-  section "table2" (Harness.table2 ?jobs);
-  json_section "engine" Harness.engine_comparison;
+  section "table1" (Harness.table1 ?jobs ?trace_prefix);
+  section "table2" (Harness.table2 ?jobs ?trace_prefix);
+  json_section "engine" (Harness.engine_comparison ?trace_prefix);
   section "oracle" Oracle_bench.run;
   section "reductions" Reduction_bench.run;
   section "ablation" (Ablation.run ?jobs);
   section "extensions" Extensions_bench.run;
   section "bechamel" Bechamel_suite.run;
-  json_section "parallel" (Harness.parallel_bench ?jobs);
+  json_section "parallel" (Harness.parallel_bench ?jobs ?trace_prefix);
   (match !json_path with
   | None -> ()
   | Some path ->
+    let meta =
+      Harness.meta_json ~seed:100
+        ~jobs:(match jobs with Some j -> j | None -> 1)
+        ~sems:Ddb_core.Registry.names
+    in
     let oc = open_out path in
-    Printf.fprintf oc "{%s}\n"
-      (String.concat ","
+    Printf.fprintf oc "{%S:%s%s}\n" "meta" meta
+      (String.concat ""
          (List.rev_map
-            (fun (name, json) -> Printf.sprintf "%S:%s" name json)
+            (fun (name, json) -> Printf.sprintf ",%S:%s" name json)
             !json_sections));
     close_out oc;
     Fmt.pr "@.wrote %s@." path);

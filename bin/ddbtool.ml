@@ -18,6 +18,48 @@ open Cmdliner
      :- a, b.                % integrity clause
      e.                      % fact                                      *)
 
+module Trace = Ddb_obs.Trace
+module Metrics = Ddb_obs.Metrics
+
+(* --- tracing (every subcommand takes --trace/--trace-clock) --- *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a structured trace of the run (per-semantics scopes, \
+           engine oracle ops, SAT solves, CEGAR rounds, pool tasks) and \
+           write it to $(docv) as Chrome trace-event JSON — load it in \
+           Perfetto (ui.perfetto.dev) or chrome://tracing.  Worker domains \
+           appear as separate tid lanes.")
+
+let trace_clock_arg =
+  Arg.(
+    value
+    & opt
+        (enum [ ("logical", Trace.Logical); ("wall", Trace.Wall) ])
+        Trace.Logical
+    & info [ "trace-clock" ] ~docv:"CLOCK"
+        ~doc:
+          "Trace timestamp source: $(b,logical) (per-domain probe ticks — \
+           deterministic, the trace is byte-identical across runs of the \
+           same command) or $(b,wall) (real microseconds).")
+
+(* Run [f] under an active trace when --trace was given; the file is
+   written after [f] returns (pool domains have joined by then, so every
+   worker buffer is quiescent). *)
+let traced trace clock f =
+  match trace with
+  | None -> f ()
+  | Some path ->
+    Trace.start ~clock ();
+    let res = Fun.protect ~finally:Trace.stop f in
+    Trace.write_file path;
+    Fmt.epr "trace: %d event(s) -> %s@." (Trace.events_recorded ()) path;
+    res
+
 (* Files ending in .dl are non-ground Datalog and are grounded on load;
    anything else is parsed as propositional clauses. *)
 let load_db path =
@@ -390,9 +432,9 @@ let select_sems db sem_name =
    stats record as JSON — same schema as a single engine's.  --no-cache
    replays the workload on cache-disabled shards (the direct fresh-solver
    path) for ablation. *)
-let stats db sem_name no_cache jobs =
+let stats db sem_name no_cache jobs ~pinned =
   Result.bind (select_sems db sem_name) @@ fun sems ->
-  Batch.with_batch ?jobs ~cache:(not no_cache) @@ fun b ->
+  Batch.with_batch ?jobs ~cache:(not no_cache) ~pinned @@ fun b ->
   for _pass = 1 to 2 do
     ignore (Batch.literal_sweep b ~sems db);
     ignore (Batch.exists_sweep b ~sems db)
@@ -403,9 +445,9 @@ let stats db sem_name no_cache jobs =
 (* Print every ± literal's answer under every selected semantics.  Output
    order is fixed (semantics in registry order, ¬x before x, atoms
    ascending) and independent of --jobs. *)
-let sweep db sem_name no_cache jobs =
+let sweep db sem_name no_cache jobs ~pinned =
   Result.bind (select_sems db sem_name) @@ fun sems ->
-  Batch.with_batch ?jobs ~cache:(not no_cache) @@ fun b ->
+  Batch.with_batch ?jobs ~cache:(not no_cache) ~pinned @@ fun b ->
   let vocab = Db.vocab db in
   List.iter
     (fun (sem, answers) ->
@@ -437,6 +479,35 @@ let no_cache_flag =
           "Disable the engine's memo tables (ablation: the direct \
            fresh-solver path, still instrumented).")
 
+(* --- profile --- *)
+
+(* The stats workload on pinned, metrics-enabled shards, reported as a
+   per-oracle-kind latency table (merged across workers).  Latencies are in
+   wall µs, or in deterministic probe ticks while --trace (logical clock)
+   is active — the unit is printed in the header. *)
+let profile db sem_name no_cache jobs =
+  Result.bind (select_sems db sem_name) @@ fun sems ->
+  Batch.with_batch ?jobs ~cache:(not no_cache) ~pinned:true ~profile:true
+  @@ fun b ->
+  for _pass = 1 to 2 do
+    ignore (Batch.literal_sweep b ~sems db);
+    ignore (Batch.exists_sweep b ~sems db)
+  done;
+  let merged =
+    Metrics.merge (List.map Ddb_engine.Engine.metrics (Batch.engines b))
+  in
+  let unit = Trace.metric_unit () in
+  Fmt.pr "%-28s %8s %8s %8s %9s %9s %9s %9s %12s@." "oracle op" "count"
+    "hits" "misses" "p50" "p90" "p99" "max" ("total/" ^ unit);
+  List.iter
+    (fun (op, (s : Metrics.summary)) ->
+      Fmt.pr "%-28s %8d %8d %8d %9.1f %9.1f %9.1f %9.1f %12.1f@." op s.count
+        (Metrics.counter_value merged (op ^ ".hits"))
+        (Metrics.counter_value merged (op ^ ".misses"))
+        s.p50 s.p90 s.p99 s.max s.sum)
+    (Metrics.histogram_summaries merged);
+  Ok ()
+
 (* --- semantics list --- *)
 
 let list_semantics () =
@@ -448,84 +519,156 @@ let list_semantics () =
 
 (* --- command wiring --- *)
 
+let version = "1.1.0"
+
 let handle = function
   | Ok () -> `Ok ()
   | Error (`Msg m) -> `Error (false, m)
 
+(* [run] threads the --trace/--trace-clock options every subcommand takes:
+   [k] receives the remaining arguments and returns the thunk to trace. *)
 let classify_cmd =
   Cmd.v (Cmd.info "classify" ~doc:"Classify a database (DDDB/DSDB/DNDB, strata)")
-    Term.(ret (const (fun db -> handle (classify db)) $ db_arg))
+    Term.(
+      ret
+        (const (fun trace clock db ->
+             handle (traced trace clock (fun () -> classify db)))
+        $ trace_arg $ trace_clock_arg $ db_arg))
 
 let models_cmd =
   Cmd.v (Cmd.info "models" ~doc:"List the models under a semantics")
     Term.(
       ret
-        (const (fun db sem limit brute -> handle (models db sem limit brute))
-        $ db_arg $ semantics_arg $ limit_arg $ brute_arg))
+        (const (fun trace clock db sem limit brute ->
+             handle (traced trace clock (fun () -> models db sem limit brute)))
+        $ trace_arg $ trace_clock_arg $ db_arg $ semantics_arg $ limit_arg
+        $ brute_arg))
 
 let query_cmd =
   Cmd.v (Cmd.info "query" ~doc:"Decide SEM(DB) |= FORMULA (cautious or brave)")
     Term.(
       ret
-        (const (fun db sem q brave witness minimize fixed vary ->
-             handle (query db sem q brave witness ~minimize ~fixed ~vary))
-        $ db_arg $ semantics_arg $ query_str_arg $ brave_flag $ witness_flag
-        $ minimize_arg $ fixed_arg $ vary_arg))
+        (const (fun trace clock db sem q brave witness minimize fixed vary ->
+             handle
+               (traced trace clock (fun () ->
+                    query db sem q brave witness ~minimize ~fixed ~vary)))
+        $ trace_arg $ trace_clock_arg $ db_arg $ semantics_arg $ query_str_arg
+        $ brave_flag $ witness_flag $ minimize_arg $ fixed_arg $ vary_arg))
 
 let exists_cmd =
   Cmd.v (Cmd.info "exists" ~doc:"Decide whether SEM(DB) has a model")
     Term.(
       ret
-        (const (fun db sem -> handle (exists db sem))
-        $ db_arg $ semantics_arg))
+        (const (fun trace clock db sem ->
+             handle (traced trace clock (fun () -> exists db sem)))
+        $ trace_arg $ trace_clock_arg $ db_arg $ semantics_arg))
 
 let ground_cmd =
   Cmd.v
     (Cmd.info "ground"
        ~doc:"Ground a Datalog file and print the propositional program")
-    Term.(ret (const (fun path -> handle (ground_cmd_impl path)) $ path_arg))
+    Term.(
+      ret
+        (const (fun trace clock path ->
+             handle (traced trace clock (fun () -> ground_cmd_impl path)))
+        $ trace_arg $ trace_clock_arg $ path_arg))
 
 let count_cmd =
   Cmd.v (Cmd.info "count" ~doc:"Count the models under a semantics")
     Term.(
       ret
-        (const (fun db sem brute -> handle (count db sem brute))
-        $ db_arg $ semantics_arg $ brute_arg))
+        (const (fun trace clock db sem brute ->
+             handle (traced trace clock (fun () -> count db sem brute)))
+        $ trace_arg $ trace_clock_arg $ db_arg $ semantics_arg $ brute_arg))
+
+(* --jobs determinism contract, shared by the stats/sweep/profile pages. *)
+let jobs_man =
+  [
+    `S Manpage.s_description;
+    `P
+      "$(b,--jobs) $(i,N) fans the query sweep out over $(i,N) OCaml 5 \
+       worker domains, one memoizing oracle-engine shard per worker.  The \
+       fan-out is order-stable: queries are tagged with their position and \
+       reassembled by position after the join, so the printed answers — \
+       and the merged stats JSON schema — are $(b,identical for every job \
+       count), including $(b,--jobs 1) and the sequential path.  Only \
+       scheduling-dependent *quantities* (per-shard cache hits, wall \
+       time) vary with $(i,N); answers never do.";
+    `P
+      "With $(b,--trace), sweeps switch from dynamic chunk placement to \
+       statically pinned placement (query $(i,k) on worker $(i,k mod N)), \
+       so the per-worker event streams in the trace are also reproducible; \
+       with the default logical trace clock the trace file is \
+       byte-identical across runs.";
+  ]
 
 let stats_cmd =
   Cmd.v
-    (Cmd.info "stats"
+    (Cmd.info "stats" ~man:jobs_man
        ~doc:
          "Sweep all ± literal queries through sharded memoizing oracle \
           engines (--jobs worker domains) and print the merged \
           instrumentation record as JSON")
     Term.(
       ret
-        (const (fun db sem no_cache jobs -> handle (stats db sem no_cache jobs))
-        $ db_arg $ stats_sem_arg $ no_cache_flag $ jobs_arg))
+        (const (fun trace clock db sem no_cache jobs ->
+             handle
+               (traced trace clock (fun () ->
+                    stats db sem no_cache jobs ~pinned:(trace <> None))))
+        $ trace_arg $ trace_clock_arg $ db_arg $ stats_sem_arg $ no_cache_flag
+        $ jobs_arg))
 
 let sweep_cmd =
   Cmd.v
-    (Cmd.info "sweep"
+    (Cmd.info "sweep" ~man:jobs_man
        ~doc:
          "Answer every ± literal query under every applicable semantics, \
           fanned out over --jobs worker domains")
     Term.(
       ret
-        (const (fun db sem no_cache jobs -> handle (sweep db sem no_cache jobs))
-        $ db_arg $ stats_sem_arg $ no_cache_flag $ jobs_arg))
+        (const (fun trace clock db sem no_cache jobs ->
+             handle
+               (traced trace clock (fun () ->
+                    sweep db sem no_cache jobs ~pinned:(trace <> None))))
+        $ trace_arg $ trace_clock_arg $ db_arg $ stats_sem_arg $ no_cache_flag
+        $ jobs_arg))
+
+let profile_cmd =
+  Cmd.v
+    (Cmd.info "profile" ~man:jobs_man
+       ~doc:
+         "Run the stats workload with per-oracle-kind latency histograms \
+          and print a p50/p90/p99 table (merged across --jobs workers; \
+          placement is always pinned).  With --trace the latencies are \
+          deterministic logical ticks; without it, wall microseconds")
+    Term.(
+      ret
+        (const (fun trace clock db sem no_cache jobs ->
+             handle
+               (traced trace clock (fun () -> profile db sem no_cache jobs)))
+        $ trace_arg $ trace_clock_arg $ db_arg $ stats_sem_arg $ no_cache_flag
+        $ jobs_arg))
 
 let semantics_cmd =
   Cmd.v (Cmd.info "semantics" ~doc:"List the available semantics")
     Term.(ret (const (fun () -> handle (list_semantics ())) $ const ()))
 
+let version_cmd =
+  Cmd.v (Cmd.info "version" ~doc:"Print the ddbtool version")
+    Term.(
+      ret
+        (const (fun () ->
+             Fmt.pr "ddbtool %s@." version;
+             `Ok ())
+        $ const ()))
+
 let main_cmd =
   let doc = "disjunctive database semantics (Eiter & Gottlob, PODS-93)" in
   Cmd.group
-    (Cmd.info "ddbtool" ~version:"1.0.0" ~doc)
+    (Cmd.info "ddbtool" ~version ~doc)
     [
       classify_cmd; models_cmd; query_cmd; exists_cmd; count_cmd; ground_cmd;
-      stats_cmd; sweep_cmd; semantics_cmd;
+      stats_cmd; sweep_cmd; profile_cmd; semantics_cmd; version_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

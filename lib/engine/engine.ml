@@ -117,6 +117,11 @@ let qkey ?(negs = []) ?part ?form ?(arg = -1) theory op =
 
 type t = {
   mutable cache : bool;
+  (* Latency histograms + hit/miss counters per oracle kind.  [profile]
+     gates their upkeep exactly like the trace flag gates spans: with both
+     off every op body pays one boolean load. *)
+  mutable profile : bool;
+  metrics : Ddb_obs.Metrics.t;
   total : counters;
   per_scope : (string, counters) Hashtbl.t;
   mutable scope : (string * counters) option;
@@ -128,9 +133,11 @@ type t = {
   model_lists : (qkey, Interp.t list) Hashtbl.t;
 }
 
-let create ?(cache = true) () =
+let create ?(cache = true) ?(profile = false) () =
   {
     cache;
+    profile;
+    metrics = Ddb_obs.Metrics.create ();
     total = fresh_counters ();
     per_scope = Hashtbl.create 16;
     scope = None;
@@ -146,8 +153,16 @@ let default = create ()
 
 let set_cache t flag = t.cache <- flag
 let cache_enabled t = t.cache
+let set_profiling t flag = t.profile <- flag
+let profiling t = t.profile
+let metrics t = t.metrics
+let metrics_json t = Ddb_obs.Metrics.to_json t.metrics
+
+let merged_metrics_json engines =
+  Ddb_obs.Metrics.to_json (Ddb_obs.Metrics.merge (List.map metrics engines))
 
 let reset t =
+  Ddb_obs.Metrics.clear t.metrics;
   Hashtbl.reset t.per_scope;
   t.scope <- None;
   Hashtbl.reset t.keys;
@@ -210,13 +225,59 @@ let scope_counters t name =
     Hashtbl.add t.per_scope name c;
     c
 
+let n_theory = Ddb_obs.Trace.name "theory"
+let n_cache_hit = Ddb_obs.Trace.name "cache_hit"
+let n_semantics = Ddb_obs.Trace.name "semantics"
+
+(* Wrap one oracle op.  Off (no profiling, no trace): a single boolean
+   test before [f].  On: a span named [engine.<op>] carrying the
+   hash-consed theory key and whether the memo answered, plus a latency
+   observation and hit/miss counters in the engine's metrics registry.
+   The hit attribute is read off the cache_hits delta, so it reflects the
+   op's own memo lookup (nested op spans carry their own attribute). *)
+let instrumented t ~op db f =
+  if not (t.profile || Ddb_obs.Trace.enabled ()) then f ()
+  else begin
+    let open Ddb_obs.Trace in
+    let traced = enabled () in
+    let span = name ("engine." ^ op) in
+    (if traced then
+       let theory = if t.cache then theory_key t db else -1 in
+       begin_args span
+         (if theory >= 0 then [ (n_theory, Int theory) ] else []));
+    let hits0 = t.total.cache_hits in
+    let t0 = metric_now () in
+    let finished = ref false in
+    Fun.protect
+      ~finally:(fun () -> if traced && not !finished then end_ span)
+      (fun () ->
+        let r = f () in
+        finished := true;
+        let hit = t.total.cache_hits > hits0 in
+        if t.profile then begin
+          Ddb_obs.Metrics.observe t.metrics ("engine." ^ op)
+            (metric_now () -. t0);
+          Ddb_obs.Metrics.incr_counter t.metrics
+            ("engine." ^ op ^ if hit then ".hits" else ".misses")
+        end;
+        if traced then end_args span [ (n_cache_hit, Bool hit) ];
+        r)
+  end
+
 (* Run [f] attributing solver work and wall time to [name].  Nested scopes
    keep attributing to the outermost one (a semantics calling into shared
-   machinery is still that semantics' work). *)
+   machinery is still that semantics' work).  Under tracing, the outermost
+   scope is also a top-level [scope.<name>] span — the per-semantics lane
+   the oracle-op spans nest under. *)
 let scoped t name f =
   match t.scope with
   | Some _ -> f ()
   | None ->
+    let traced = Ddb_obs.Trace.enabled () in
+    if traced then
+      Ddb_obs.Trace.begin_args
+        (Ddb_obs.Trace.name ("scope." ^ name))
+        [ (n_semantics, Ddb_obs.Trace.Str name) ];
     let c = scope_counters t name in
     t.scope <- Some (name, c);
     let before = Stats.snapshot () in
@@ -227,7 +288,8 @@ let scoped t name f =
         let d = Stats.delta before in
         let dt = (Unix.gettimeofday () -. t0) *. 1000. in
         add_snapshot c d dt;
-        add_snapshot t.total d dt)
+        add_snapshot t.total d dt;
+        if traced then Ddb_obs.Trace.end_ (Ddb_obs.Trace.name ("scope." ^ name)))
       f
 
 (* ------------------------------------------------------------------ *)
@@ -320,30 +382,34 @@ let neg_assumptions negs = Interp.fold (fun x acc -> Lit.Neg x :: acc) negs []
 (* DB consistency: one (shared-solver) SAT call. *)
 let sat t db =
   tick t;
-  if not t.cache then Models.has_model db
-  else begin
-    let key = theory_key t db in
-    memo t t.bools (qkey key "sat") (fun () ->
-        let st = theory_state t db key in
-        match Solver.solve st.solver with
-        | Solver.Sat -> true
-        | Solver.Unsat -> false)
-  end
+  instrumented t ~op:"sat" db (fun () ->
+      if not t.cache then Models.has_model db
+      else begin
+        let key = theory_key t db in
+        memo t t.bools (qkey key "sat") (fun () ->
+            let st = theory_state t db key in
+            match Solver.solve st.solver with
+            | Solver.Sat -> true
+            | Solver.Unsat -> false)
+      end)
 
 (* DB ∪ {¬x : x ∈ negs} has a model: negation set as assumptions. *)
 let augmented_has_model t db negs =
   tick t;
-  if not t.cache then direct_augmented_has_model db negs
-  else begin
-    let key = theory_key t db in
-    memo t t.bools
-      (qkey ~negs:(Interp.to_list negs) key "aug_sat")
-      (fun () ->
-        let st = theory_state t db key in
-        match Solver.solve ~assumptions:(neg_assumptions negs) st.solver with
-        | Solver.Sat -> true
-        | Solver.Unsat -> false)
-  end
+  instrumented t ~op:"aug_sat" db (fun () ->
+      if not t.cache then direct_augmented_has_model db negs
+      else begin
+        let key = theory_key t db in
+        memo t t.bools
+          (qkey ~negs:(Interp.to_list negs) key "aug_sat")
+          (fun () ->
+            let st = theory_state t db key in
+            match
+              Solver.solve ~assumptions:(neg_assumptions negs) st.solver
+            with
+            | Solver.Sat -> true
+            | Solver.Unsat -> false)
+      end)
 
 (* DB ∪ {¬x : x ∈ negs} ⊨ F: assume the Tseitin output of ¬F plus the
    negation literals; entailment iff Unsat. *)
@@ -351,19 +417,20 @@ let augmented_entails t db negs f =
   tick t;
   let n = max (Db.num_vars db) (Formula.max_atom f + 1) in
   let db = Db.with_universe db n in
-  if not t.cache then direct_augmented_entails db negs f
-  else begin
-    let key = theory_key t db in
-    memo t t.bools
-      (qkey ~negs:(Interp.to_list negs) ~form:f key "aug_entails")
-      (fun () ->
-        let st = theory_state t db key in
-        let out = encoded_formula st (Formula.not_ f) in
-        let assumptions = out :: neg_assumptions negs in
-        match Solver.solve ~assumptions st.solver with
-        | Solver.Sat -> false
-        | Solver.Unsat -> true)
-  end
+  instrumented t ~op:"aug_entails" db (fun () ->
+      if not t.cache then direct_augmented_entails db negs f
+      else begin
+        let key = theory_key t db in
+        memo t t.bools
+          (qkey ~negs:(Interp.to_list negs) ~form:f key "aug_entails")
+          (fun () ->
+            let st = theory_state t db key in
+            let out = encoded_formula st (Formula.not_ f) in
+            let assumptions = out :: neg_assumptions negs in
+            match Solver.solve ~assumptions st.solver with
+            | Solver.Sat -> false
+            | Solver.Unsat -> true)
+      end)
 
 (* Classical entailment DB ⊨ F. *)
 let entails t db f =
@@ -374,12 +441,13 @@ let entails t db f =
    GCWA/CCWA recompute it per query, here it is keyed by (theory, P, Q). *)
 let support_set t db part =
   tick t;
-  if not t.cache then direct_support_set db part
-  else begin
-    let key = theory_key t db in
-    memo t t.interps (qkey ~part key "support") (fun () ->
-        direct_support_set db part)
-  end
+  instrumented t ~op:"support" db (fun () ->
+      if not t.cache then direct_support_set db part
+      else begin
+        let key = theory_key t db in
+        memo t t.interps (qkey ~part key "support") (fun () ->
+            direct_support_set db part)
+      end)
 
 let negated_atoms t db part =
   Interp.diff (Partition.p part) (support_set t db part)
@@ -392,26 +460,28 @@ let in_some_minimal t db part x =
   if t.cache then Interp.mem (support_set t db part) x
   else begin
     tick t;
-    Option.is_some
-      (Minimal.find_minimal_such_that
-         ~extra:[ [ Lit.Pos x ] ]
-         (Db.theory db) part)
+    instrumented t ~op:"in_some_minimal" db (fun () ->
+        Option.is_some
+          (Minimal.find_minimal_such_that
+             ~extra:[ [ Lit.Pos x ] ]
+             (Db.theory db) part))
   end
 
 (* All ⊆-minimal models (total partition). *)
 let minimal_models ?limit t db =
   tick t;
-  match limit with
-  | Some _ ->
-    (* limited enumerations are cheap and caller-specific: never cached *)
-    Minimal.all_minimal ?limit (Db.theory db)
-  | None ->
-    if not t.cache then Minimal.all_minimal (Db.theory db)
-    else begin
-      let key = theory_key t db in
-      memo t t.model_lists (qkey key "minimal_models") (fun () ->
-          Minimal.all_minimal (Db.theory db))
-    end
+  instrumented t ~op:"minimal_models" db (fun () ->
+      match limit with
+      | Some _ ->
+        (* limited enumerations are cheap and caller-specific: never cached *)
+        Minimal.all_minimal ?limit (Db.theory db)
+      | None ->
+        if not t.cache then Minimal.all_minimal (Db.theory db)
+        else begin
+          let key = theory_key t db in
+          memo t t.model_lists (qkey key "minimal_models") (fun () ->
+              Minimal.all_minimal (Db.theory db))
+        end)
 
 (* MM(DB;P;Z) ⊨ F — the ECWA/EGCWA decision problem. *)
 let minimal_entails ?part t db f =
@@ -419,40 +489,43 @@ let minimal_entails ?part t db f =
   let n = max (Db.num_vars db) (Formula.max_atom f + 1) in
   let db = Db.with_universe db n in
   let part = match part with Some p -> p | None -> Partition.minimize_all n in
-  if not t.cache then Models.minimal_entails ~part db f
-  else begin
-    let key = theory_key t db in
-    memo t t.bools (qkey ~part ~form:f key "mm_entails") (fun () ->
-        Models.minimal_entails ~part db f)
-  end
+  instrumented t ~op:"mm_entails" db (fun () ->
+      if not t.cache then Models.minimal_entails ~part db f
+      else begin
+        let key = theory_key t db in
+        memo t t.bools (qkey ~part ~form:f key "mm_entails") (fun () ->
+            Models.minimal_entails ~part db f)
+      end)
 
 (* {x : DB ⊭ x} — Reiter's CWA closure, n assumption solves on the shared
    solver, memoized per theory. *)
 let non_entailed_atoms t db =
   tick t;
-  if not t.cache then direct_non_entailed_atoms db
-  else begin
-    let key = theory_key t db in
-    memo t t.interps (qkey key "non_entailed") (fun () ->
-        let st = theory_state t db key in
-        Interp.of_pred (Db.num_vars db) (fun x ->
-            match Solver.solve ~assumptions:[ Lit.Neg x ] st.solver with
-            | Solver.Sat -> true
-            | Solver.Unsat -> false))
-  end
+  instrumented t ~op:"non_entailed" db (fun () ->
+      if not t.cache then direct_non_entailed_atoms db
+      else begin
+        let key = theory_key t db in
+        memo t t.interps (qkey key "non_entailed") (fun () ->
+            let st = theory_state t db key in
+            Interp.of_pred (Db.num_vars db) (fun x ->
+                match Solver.solve ~assumptions:[ Lit.Neg x ] st.solver with
+                | Solver.Sat -> true
+                | Solver.Unsat -> false))
+      end)
 
 (* Generic per-semantics result memo for semantics whose decision procedure
    the engine does not decompose (PWS, CIRC, ICWA, PERF, DSM, PDSM): the
    engine still canonicalizes, caches and instruments the answer. *)
 let cached_bool ?part ?formula ?(arg = -1) t ~sem ~op db compute =
   tick t;
-  if not t.cache then compute ()
-  else begin
-    let key = theory_key t db in
-    memo t t.bools
-      (qkey ?part ?form:formula ~arg key (sem ^ "/" ^ op))
-      compute
-  end
+  instrumented t ~op:(sem ^ "/" ^ op) db (fun () ->
+      if not t.cache then compute ()
+      else begin
+        let key = theory_key t db in
+        memo t t.bools
+          (qkey ?part ?form:formula ~arg key (sem ^ "/" ^ op))
+          compute
+      end)
 
 (* ------------------------------------------------------------------ *)
 (* Stats reporting                                                     *)

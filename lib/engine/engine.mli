@@ -18,8 +18,11 @@ open Ddb_db
 
 type t
 
-val create : ?cache:bool -> unit -> t
-(** A fresh engine; [cache] defaults to [true]. *)
+val create : ?cache:bool -> ?profile:bool -> unit -> t
+(** A fresh engine; [cache] defaults to [true].  [profile] (default
+    [false]) turns on per-oracle-kind latency histograms and hit/miss
+    counters in the engine's {!Ddb_obs.Metrics} registry; with it off —
+    and no trace active — every oracle op pays a single boolean test. *)
 
 val default : t
 (** The process-wide engine the convenience wrappers in [lib/core] use. *)
@@ -29,6 +32,9 @@ val set_cache : t -> bool -> unit
     consulted while the flag is off). *)
 
 val cache_enabled : t -> bool
+
+val set_profiling : t -> bool -> unit
+val profiling : t -> bool
 
 val reset : t -> unit
 (** Drop all caches, shared solvers and statistics. *)
@@ -98,7 +104,22 @@ val cached_bool :
 val scoped : t -> string -> (unit -> 'a) -> 'a
 (** [scoped t name f] runs [f], attributing solver effort ({!Stats} deltas)
     and wall time to the per-semantics bucket [name].  Nested scopes keep
-    attributing to the outermost one. *)
+    attributing to the outermost one.  While a {!Ddb_obs.Trace} is active,
+    the outermost scope is also emitted as a top-level [scope.<name>] span
+    — the per-semantics lane the [engine.<op>] spans nest under. *)
+
+val metrics : t -> Ddb_obs.Metrics.t
+(** The engine's metrics registry: histogram [engine.<op>] (latency in
+    {!Ddb_obs.Trace.metric_unit} units) and counters
+    [engine.<op>.hits]/[.misses] per oracle kind, populated while
+    profiling is on. *)
+
+val metrics_json : t -> string
+(** {!Ddb_obs.Metrics.to_json} of {!metrics} — emit alongside
+    {!stats_json}. *)
+
+val merged_metrics_json : t list -> string
+(** Shards merged with {!Ddb_obs.Metrics.merge}, same schema. *)
 
 type stats = {
   scope : string;

@@ -1,0 +1,61 @@
+(** Named counters + log₂-bucketed latency histograms with p50/p90/p99
+    summaries, a cross-shard [merge], and a deterministic JSON export that
+    sits alongside [Engine.stats_json].
+
+    A registry is single-writer (one per engine shard); aggregate shards
+    with {!merge}.  Latency observations should sample
+    {!Trace.metric_now}, which is deterministic (probe ticks) while a
+    logical-clock trace is active. *)
+
+type t
+
+val create : unit -> t
+val clear : t -> unit
+
+(** {1 Counters} *)
+
+val incr_counter : ?by:int -> t -> string -> unit
+val counter_value : t -> string -> int
+(** 0 when the counter was never touched. *)
+
+(** {1 Histograms}
+
+    Bucket 0 holds values < 1; bucket [i] holds [[2^(i-1), 2^i)].
+    Percentile estimates are bucket upper edges clamped to the observed
+    [min, max] — within a factor of 2 of the true order statistic. *)
+
+val observe : t -> string -> float -> unit
+(** Record one (non-negative; clamped) latency/size sample. *)
+
+type summary = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+val histogram_summary : t -> string -> summary
+(** All-zero summary when the histogram was never touched. *)
+
+(** {1 Enumeration} — sorted by name, so exports are deterministic. *)
+
+val counter_values : t -> (string * int) list
+val histogram_summaries : t -> (string * summary) list
+
+(** {1 Aggregation} *)
+
+val merge : t list -> t
+(** Pointwise: counters add; histogram buckets/count/sum add, min/max take
+    the extrema.  [merge \[\]] is the zero registry; merge is associative
+    and commutative up to the (sorted) export order. *)
+
+val merge_into : into:t -> t -> unit
+
+(** {1 Export} *)
+
+val to_json : ?unit:string -> t -> string
+(** [{"unit":…,"counters":{…},"histograms":{…}}] with names sorted;
+    [unit] defaults to {!Trace.metric_unit} at export time. *)

@@ -1,0 +1,94 @@
+(** Structured tracing: span begin/end + instant events with interned names
+    and key:value attributes, recorded into per-domain buffers (one
+    [Domain.DLS] buffer per domain — recording never locks) and drained
+    into a single Chrome trace-event JSON file loadable in chrome://tracing
+    or {{:https://ui.perfetto.dev}Perfetto}.
+
+    Probes are free when tracing is off: every emitter first reads one
+    process-global flag ([enabled]) and returns immediately.  Call sites on
+    hot paths should guard attribute construction behind {!enabled}
+    themselves so no argument list is allocated for a disabled probe.
+
+    Buffers are concatenated in [tid] order at drain time, so output does
+    not depend on domain scheduling.  With the {!Logical} clock (the
+    default) timestamps are per-domain probe ticks and the trace is
+    byte-identical across runs of a deterministic workload; with {!Wall}
+    they are microseconds normalized to the [start] origin. *)
+
+type value = Int of int | Bool of bool | Str of string | Float of float
+
+type clock =
+  | Wall  (** µs from [Unix.gettimeofday], normalized to the start origin *)
+  | Logical  (** deterministic per-domain tick per clock read *)
+
+type name
+(** An interned event/attribute name. *)
+
+val name : string -> name
+(** Intern a name (idempotent; takes a global lock — intern once per probe
+    site, at module initialization, not per event). *)
+
+val string_of_name : name -> string
+
+(** {1 Lifecycle} *)
+
+val start : ?clock:clock -> unit -> unit
+(** Clear all buffers, set the clock (default {!Logical}), capture the wall
+    origin and enable recording. *)
+
+val stop : unit -> unit
+(** Disable recording.  Buffers are kept until the next [start]. *)
+
+val enabled : unit -> bool
+val current_clock : unit -> clock
+
+val set_tid : int -> unit
+(** Set the calling domain's thread id in the trace ([0] by default; the
+    pool sets each worker domain to its worker index). *)
+
+val set_max_events : int -> unit
+(** Per-buffer event cap (default [2^22]); past it events are dropped and
+    counted in the trace metadata, never silently lost. *)
+
+(** {1 Recording}
+
+    All emitters are no-ops while tracing is disabled. *)
+
+val begin_ : name -> unit
+val begin_args : name -> (name * value) list -> unit
+val end_ : name -> unit
+val end_args : name -> (name * value) list -> unit
+val instant : name -> unit
+val instant_args : name -> (name * value) list -> unit
+
+val with_span : ?args:(name * value) list -> name -> (unit -> 'a) -> 'a
+(** Begin/end around the thunk, exception-safe ([Fun.protect]). *)
+
+(** {1 Metric clock}
+
+    The time source latency histograms ({!Metrics}) sample: per-domain
+    ticks while a {!Logical} trace is active (deterministic durations),
+    wall µs otherwise. *)
+
+val metric_now : unit -> float
+val metric_unit : unit -> string
+(** ["ticks"] or ["us"], matching {!metric_now}. *)
+
+(** {1 Draining}
+
+    Only drain while no domain is emitting (after the pool joined or shut
+    down). *)
+
+val events_recorded : unit -> int
+val dropped : unit -> int
+
+val dump : unit -> (int * string * char * int) list
+(** [(tid, name, phase, ts)] per event, in output order (ascending tid,
+    buffer order within a tid) — the structured view tests validate. *)
+
+val to_string : unit -> string
+(** The Chrome trace-event JSON object
+    [{"traceEvents":[…],"displayTimeUnit":…,"otherData":{…}}]. *)
+
+val write : out_channel -> unit
+val write_file : string -> unit

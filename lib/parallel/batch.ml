@@ -21,12 +21,13 @@ type t = {
   pool : Pool.t;
   engines : Engine.t array;
   sems : (string * Semantics.t) list array; (* per worker, registry order *)
+  pinned : bool;
 }
 
-let create ?jobs ?(cache = true) () =
+let create ?jobs ?(cache = true) ?(pinned = false) ?(profile = false) () =
   let pool = Pool.create ?jobs () in
   let engines =
-    Array.init (Pool.jobs pool) (fun _ -> Engine.create ~cache ())
+    Array.init (Pool.jobs pool) (fun _ -> Engine.create ~cache ~profile ())
   in
   let sems =
     Array.map
@@ -36,15 +37,24 @@ let create ?jobs ?(cache = true) () =
           (Registry.all_in eng))
       engines
   in
-  { pool; engines; sems }
+  { pool; engines; sems; pinned }
 
 let jobs t = Pool.jobs t.pool
 let engines t = Array.to_list t.engines
 let shutdown t = Pool.shutdown t.pool
 
-let with_batch ?jobs ?cache f =
-  let t = create ?jobs ?cache () in
+let with_batch ?jobs ?cache ?pinned ?profile f =
+  let t = create ?jobs ?cache ?pinned ?profile () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* Every sweep routes through this: chunked (dynamic placement, fastest)
+   normally, statically pinned when the batch was created for tracing or
+   profiling — item→worker placement then is a pure function of the query
+   list, so per-worker trace streams and per-shard metrics are
+   reproducible. *)
+let map t ?chunk_size f xs =
+  if t.pinned then Parallel.map_pinned_in t.pool f xs
+  else Parallel.map_chunked_in t.pool ?chunk_size f xs
 
 let sem_for t ~worker name =
   match List.assoc_opt name t.sems.(worker) with
@@ -68,7 +78,7 @@ let literal_sweep t ?sems db =
   let lits = pm_literals db in
   let items = List.concat_map (fun n -> List.map (fun l -> (n, l)) lits) names in
   let answers =
-    Parallel.map_chunked_in t.pool
+    map t
       (fun ~worker (name, l) ->
         (sem_for t ~worker name).Semantics.infer_literal db l)
       items
@@ -87,14 +97,14 @@ let literal_sweep t ?sems db =
 
 let all_semantics t ?sems db f =
   let names = default_sems db sems in
-  Parallel.map_chunked_in t.pool ~chunk_size:1
+  map t ~chunk_size:1
     (fun ~worker name ->
       (name, (sem_for t ~worker name).Semantics.infer_formula db f))
     names
 
 let exists_sweep t ?sems db =
   let names = default_sems db sems in
-  Parallel.map_chunked_in t.pool ~chunk_size:1
+  map t ~chunk_size:1
     (fun ~worker name ->
       (name, (sem_for t ~worker name).Semantics.has_model db))
     names
@@ -106,7 +116,7 @@ let instance_sweep t ?sems dbs =
       dbs
   in
   let swept =
-    Parallel.map_chunked_in t.pool ~chunk_size:1
+    map t ~chunk_size:1
       (fun ~worker (db, name) ->
         let s = sem_for t ~worker name in
         ( name,
@@ -127,6 +137,7 @@ let instance_sweep t ?sems dbs =
   split dbs swept
 
 let totals t = Engine.merge_stats (engines t)
+let metrics_json t = Engine.merged_metrics_json (engines t)
 let per_scope t = Engine.merge_per_scope (engines t)
 let stats_json t = Engine.merged_stats_json (engines t)
 let reset t = Array.iter Engine.reset t.engines

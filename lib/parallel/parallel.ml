@@ -39,6 +39,36 @@ let map_chunked_in pool ?chunk_size f xs =
     List.concat (Array.to_list slots)
   end
 
+(* Statically pinned variant: item [k] runs on worker [k mod jobs], one
+   pool task per worker walking its stride.  No load balancing — the point
+   is that item→worker placement is a pure function of the input, so the
+   per-worker streams a trace records are reproducible.  Results are
+   reassembled by item index, same output as [map_chunked_in]. *)
+let map_pinned_in pool f xs =
+  let items = Array.of_list xs in
+  let n = Array.length items in
+  if n = 0 then []
+  else begin
+    let jobs = Pool.jobs pool in
+    let out = Array.make n None in
+    Pool.run_pinned pool
+      (Array.init jobs (fun w ->
+           if w >= n then []
+           else
+             [
+               (fun worker ->
+                 let k = ref w in
+                 while !k < n do
+                   out.(!k) <- Some (f ~worker items.(!k));
+                   k := !k + jobs
+                 done);
+             ]));
+    List.init n (fun i ->
+        match out.(i) with
+        | Some y -> y
+        | None -> invalid_arg "Parallel.map_pinned_in: missing slot")
+  end
+
 let iter_chunked_in pool ?chunk_size f xs =
   ignore (map_chunked_in pool ?chunk_size (fun ~worker x -> f ~worker x) xs)
 

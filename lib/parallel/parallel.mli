@@ -20,5 +20,13 @@ val map_chunked_in :
     the index of the worker running it — the hook the batch layer uses to
     pick the worker's own engine shard. *)
 
+val map_pinned_in : Pool.t -> (worker:int -> 'a -> 'b) -> 'a list -> 'b list
+(** Like {!map_chunked_in} but item [k] always runs on worker [k mod jobs]
+    (via {!Pool.run_pinned}): placement is a pure function of the input, so
+    the per-worker event streams an active {!Ddb_obs.Trace} records do not
+    depend on scheduling.  Output order and content are identical to
+    {!map_chunked_in}; throughput is worse on uneven workloads (no work
+    stealing) — use only when placement determinism matters. *)
+
 val iter_chunked_in :
   Pool.t -> ?chunk_size:int -> (worker:int -> 'a -> unit) -> 'a list -> unit

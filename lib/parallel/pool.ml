@@ -7,12 +7,24 @@
    oracle engine shard, a scratch buffer) is only ever touched from one
    domain, so no shared mutable state needs to be thread-safe.
 
-   Synchronization is deliberately boring: one mutex guards the queue and
+   Synchronization is deliberately boring: one mutex guards the queues and
    the unfinished-task count; [work] wakes idle workers, [finished] wakes
    the submitter blocked in [run].  Determinism of *results* is not the
    pool's job — callers tag tasks with positions and reassemble (see
    {!Parallel.map_chunked}); the pool only guarantees that every submitted
-   task runs exactly once and that [run] returns after all of them. *)
+   task runs exactly once and that [run] returns after all of them.
+
+   Two submission disciplines share the worker loop:
+     - [run]: one shared queue, tasks go to whichever worker frees up first
+       (fastest wall-clock, scheduling-dependent placement);
+     - [run_pinned]: one queue per worker, task list [w] runs on worker [w]
+       and nowhere else.  Placement — and therefore the per-worker event
+       stream a trace records under worker-index tids — is independent of
+       scheduling, which is what makes traced parallel runs byte-identical.
+
+   Each worker stamps its index as the calling domain's trace tid and, while
+   a trace is active, wraps every task in a [pool.task] span, so Perfetto
+   shows per-worker lanes with task lifetimes. *)
 
 type t = {
   jobs : int;
@@ -20,6 +32,7 @@ type t = {
   work : Condition.t;
   finished : Condition.t;
   tasks : (int -> unit) Queue.t;
+  pinned : (int -> unit) Queue.t array; (* slot w: only worker w pops *)
   mutable unfinished : int;
   mutable stop : bool;
   mutable domains : unit Domain.t list;
@@ -27,25 +40,41 @@ type t = {
 
 let recommended_jobs () = Domain.recommended_domain_count ()
 
+let n_task = Ddb_obs.Trace.name "pool.task"
+
+(* [run]/[run_pinned] wrap tasks so they cannot raise; a raise here would
+   kill the worker domain, so treat it as a programming error and swallow. *)
+let exec_task index task =
+  if Ddb_obs.Trace.enabled () then begin
+    Ddb_obs.Trace.begin_ n_task;
+    (try task index with _ -> ());
+    Ddb_obs.Trace.end_ n_task
+  end
+  else try task index with _ -> ()
+
 let worker t index =
+  Ddb_obs.Trace.set_tid index;
+  let mine = t.pinned.(index) in
   let rec loop () =
     Mutex.lock t.mutex;
-    while Queue.is_empty t.tasks && not t.stop do
+    while Queue.is_empty mine && Queue.is_empty t.tasks && not t.stop do
       Condition.wait t.work t.mutex
     done;
-    if Queue.is_empty t.tasks then Mutex.unlock t.mutex (* stop *)
-    else begin
-      let task = Queue.pop t.tasks in
+    let task =
+      if not (Queue.is_empty mine) then Some (Queue.pop mine)
+      else if not (Queue.is_empty t.tasks) then Some (Queue.pop t.tasks)
+      else None
+    in
+    match task with
+    | None -> Mutex.unlock t.mutex (* stop *)
+    | Some task ->
       Mutex.unlock t.mutex;
-      (* [run] wraps tasks so they cannot raise; a raise here would kill the
-         worker domain, so treat it as a programming error and swallow. *)
-      (try task index with _ -> ());
+      exec_task index task;
       Mutex.lock t.mutex;
       t.unfinished <- t.unfinished - 1;
       if t.unfinished = 0 then Condition.broadcast t.finished;
       Mutex.unlock t.mutex;
       loop ()
-    end
   in
   loop ()
 
@@ -58,6 +87,7 @@ let create ?jobs () =
       work = Condition.create ();
       finished = Condition.create ();
       tasks = Queue.create ();
+      pinned = Array.init jobs (fun _ -> Queue.create ());
       unfinished = 0;
       stop = false;
       domains = [];
@@ -78,7 +108,9 @@ let run t fs =
        drain-then-raise contract as the multi-domain path *)
     if t.stop then invalid_arg "Pool.run: pool is shut down";
     let errors = Array.make n None in
-    Array.iteri (fun i f -> try f 0 with e -> errors.(i) <- Some e) fs;
+    Array.iteri
+      (fun i f -> exec_task 0 (fun w -> try f w with e -> errors.(i) <- Some e))
+      fs;
     Array.iter (function Some e -> raise e | None -> ()) errors
   end
   else begin
@@ -95,6 +127,50 @@ let run t fs =
           (fun w -> try f w with e -> errors.(i) <- Some e)
           t.tasks)
       fs;
+    Condition.broadcast t.work;
+    while t.unfinished > 0 do
+      Condition.wait t.finished t.mutex
+    done;
+    Mutex.unlock t.mutex;
+    Array.iter (function Some e -> raise e | None -> ()) errors
+  end
+
+let run_pinned t per_worker =
+  if Array.length per_worker <> t.jobs then
+    invalid_arg "Pool.run_pinned: need exactly one task list per worker";
+  let n = Array.fold_left (fun acc fs -> acc + List.length fs) 0 per_worker in
+  if n = 0 then ()
+  else if t.domains = [] then begin
+    if t.stop then invalid_arg "Pool.run_pinned: pool is shut down";
+    (* inline: worker order, list order — same sequence every run *)
+    let errors = ref [] in
+    Array.iter
+      (List.iter (fun f ->
+           exec_task 0 (fun w ->
+               try f w with e -> errors := e :: !errors)))
+      per_worker;
+    match List.rev !errors with [] -> () | e :: _ -> raise e
+  end
+  else begin
+    let errors = Array.make t.jobs None in
+    Mutex.lock t.mutex;
+    if t.stop then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Pool.run_pinned: pool is shut down"
+    end;
+    t.unfinished <- t.unfinished + n;
+    Array.iteri
+      (fun w fs ->
+        List.iter
+          (fun f ->
+            Queue.add
+              (fun w' ->
+                try f w'
+                with e ->
+                  if errors.(w) = None then errors.(w) <- Some e)
+              t.pinned.(w))
+          fs)
+      per_worker;
     Condition.broadcast t.work;
     while t.unfinished > 0 do
       Condition.wait t.finished t.mutex

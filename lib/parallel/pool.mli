@@ -29,6 +29,15 @@ val run : t -> (int -> unit) list -> unit
     order is then re-raised.  One submitter at a time: [run] must not be
     called concurrently from several domains on the same pool. *)
 
+val run_pinned : t -> (int -> unit) list array -> unit
+(** [run_pinned t per_worker] — [per_worker] must have exactly [jobs t]
+    slots; the tasks in slot [w] run on worker [w] (in list order) and
+    nowhere else.  Same blocking and drain-then-raise contract as {!run}.
+    Use when task→worker placement itself must be deterministic — e.g. so
+    a trace's per-worker ([tid]) event streams don't depend on domain
+    scheduling.  On a single-job pool the slots run inline in worker
+    order. *)
+
 val shutdown : t -> unit
 (** Stop the workers and join their domains.  Idempotent; the pool cannot
     be used afterwards. *)

@@ -17,6 +17,14 @@ open Ddb_sat
 
 exception Too_many_rounds
 
+let n_cegar = Ddb_obs.Trace.name "qbf.cegar"
+let n_round = Ddb_obs.Trace.name "qbf.cegar.round"
+let n_round_attr = Ddb_obs.Trace.name "round"
+let n_num_vars = Ddb_obs.Trace.name "num_vars"
+let n_rounds = Ddb_obs.Trace.name "rounds"
+let n_valid = Ddb_obs.Trace.name "valid"
+let n_refined = Ddb_obs.Trace.name "refined"
+
 let substitute_block m block matrix =
   (* Replace the atoms of [block] by their truth value under [m]. *)
   let in_block = Hashtbl.create 16 in
@@ -44,25 +52,51 @@ let valid_exists_forall ?(max_rounds = max_int) ~num_vars ~xs ~ys matrix =
   ignore check_aux;
   let rec loop round =
     if round >= max_rounds then raise Too_many_rounds;
-    match Solver.solve abstraction with
-    | Solver.Unsat -> false (* no candidate X-assignment survives *)
-    | Solver.Sat ->
-      let sigma_x = Solver.model ~universe:num_vars abstraction in
-      let pin =
-        List.map
-          (fun x -> if Interp.mem sigma_x x then Lit.Pos x else Lit.Neg x)
-          xs
-      in
-      (match Solver.solve ~assumptions:pin check_solver with
-      | Solver.Unsat -> true (* forall Y phi holds under sigma_x *)
+    let traced = Ddb_obs.Trace.enabled () in
+    if traced then
+      Ddb_obs.Trace.begin_args n_round
+        [ (n_round_attr, Ddb_obs.Trace.Int round) ];
+    let step =
+      match Solver.solve abstraction with
+      | Solver.Unsat -> `Done false (* no candidate X-assignment survives *)
       | Solver.Sat ->
-        let sigma_y = Solver.model ~universe:num_vars check_solver in
-        (* Refine: phi must hold for this Y-counterexample. *)
-        add_constraint (substitute_block sigma_y ys matrix);
-        loop (round + 1))
+        let sigma_x = Solver.model ~universe:num_vars abstraction in
+        let pin =
+          List.map
+            (fun x -> if Interp.mem sigma_x x then Lit.Pos x else Lit.Neg x)
+            xs
+        in
+        (match Solver.solve ~assumptions:pin check_solver with
+        | Solver.Unsat -> `Done true (* forall Y phi holds under sigma_x *)
+        | Solver.Sat ->
+          let sigma_y = Solver.model ~universe:num_vars check_solver in
+          (* Refine: phi must hold for this Y-counterexample. *)
+          add_constraint (substitute_block sigma_y ys matrix);
+          `Refine)
+    in
+    (* Rounds are siblings under the qbf.cegar span, so end before
+       recursing rather than nesting round k+1 inside round k. *)
+    if traced then
+      Ddb_obs.Trace.end_args n_round
+        [ (n_refined, Ddb_obs.Trace.Bool (step = `Refine)) ];
+    match step with
+    | `Done r -> (r, round + 1)
+    | `Refine -> loop (round + 1)
   in
   Stats.bump_sigma2 ();
-  loop 0
+  if not (Ddb_obs.Trace.enabled ()) then fst (loop 0)
+  else begin
+    let open Ddb_obs.Trace in
+    begin_args n_cegar [ (n_num_vars, Int num_vars) ];
+    let finished = ref false in
+    Fun.protect
+      ~finally:(fun () -> if not !finished then end_ n_cegar)
+      (fun () ->
+        let r, rounds = loop 0 in
+        finished := true;
+        end_args n_cegar [ (n_valid, Bool r); (n_rounds, Int rounds) ];
+        r)
+  end
 
 let valid ?max_rounds t =
   match t.Qbf.prefix with

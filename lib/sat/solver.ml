@@ -357,7 +357,7 @@ exception Found_unsat
 exception Found_sat
 exception Assumption_failed
 
-let solve ?(assumptions = []) t =
+let solve_core ?(assumptions = []) t =
   t.solve_calls <- t.solve_calls + 1;
   Stats.bump_sat ();
   backtrack t 0;
@@ -442,6 +442,35 @@ let solve ?(assumptions = []) t =
     | Assumption_failed ->
       backtrack t 0;
       Unsat
+  end
+
+let n_solve = Ddb_obs.Trace.name "sat.solve"
+let n_assumptions = Ddb_obs.Trace.name "assumptions"
+let n_conflicts = Ddb_obs.Trace.name "conflicts"
+let n_decisions = Ddb_obs.Trace.name "decisions"
+let n_propagations = Ddb_obs.Trace.name "propagations"
+let n_result = Ddb_obs.Trace.name "result"
+
+let solve ?(assumptions = []) t =
+  if not (Ddb_obs.Trace.enabled ()) then solve_core ~assumptions t
+  else begin
+    let open Ddb_obs.Trace in
+    let c0 = t.conflicts and d0 = t.decisions and p0 = t.propagations in
+    begin_args n_solve [ (n_assumptions, Int (List.length assumptions)) ];
+    let finished = ref false in
+    Fun.protect
+      ~finally:(fun () -> if not !finished then end_ n_solve)
+      (fun () ->
+        let r = solve_core ~assumptions t in
+        finished := true;
+        end_args n_solve
+          [
+            (n_result, Str (match r with Sat -> "sat" | Unsat -> "unsat"));
+            (n_conflicts, Int (t.conflicts - c0));
+            (n_decisions, Int (t.decisions - d0));
+            (n_propagations, Int (t.propagations - p0));
+          ];
+        r)
   end
 
 (* The model found by the last successful [solve].  Universe size can be
