@@ -484,12 +484,15 @@ module Pool = Ddb_parallel.Pool
 
 (* Shared "meta" header for the machine-readable outputs, so every
    BENCH_*.json is self-describing.  No timestamp on purpose: outputs
-   stay byte-comparable across runs with the same seed/jobs. *)
+   stay byte-comparable across runs with the same seed/jobs.
+   [exhausted_cells] is the process-wide count of budget trips so far
+   (zero unless a budgeted sweep degraded some cell). *)
 let meta_json ~seed ~jobs ~sems =
   Printf.sprintf
-    {|{"schema_version":2,"generator":"bench/main.exe","seed":%d,"jobs":%d,"semantics":[%s]}|}
+    {|{"schema_version":3,"generator":"bench/main.exe","seed":%d,"jobs":%d,"semantics":[%s],"exhausted_cells":%d}|}
     seed jobs
     (String.concat "," (List.map (Printf.sprintf "%S") sems))
+    (Ddb_budget.Budget.exhausted_total ())
 
 let parallel_bench ?jobs ?trace_prefix () =
   let njobs =

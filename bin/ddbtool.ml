@@ -20,6 +20,112 @@ open Cmdliner
 
 module Trace = Ddb_obs.Trace
 module Metrics = Ddb_obs.Metrics
+module Budget = Ddb_budget.Budget
+
+(* --- budgets (every subcommand takes --budget-*/--on-exhaust) ---
+
+   A budget bounds the oracle work of the run: SAT conflicts, a logical
+   tick deadline (conflicts + solve calls + CEGAR rounds + engine oracle
+   ops), or a wall deadline.  Single-query commands run under one token;
+   sweep-shaped commands mint one token per (semantics, query) cell, so a
+   pathological cell degrades alone.  Degraded answers print as unknown
+   and flip the process exit code to 7 (so scripts can tell a complete
+   run from a clipped one). *)
+
+type budget_opts = {
+  limits : Budget.limits;
+  on_exhaust : [ `Unknown | `Retry | `Fail ];
+}
+
+let budget_conflicts_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "budget-conflicts" ] ~docv:"N"
+        ~doc:
+          "Abort the oracle work after $(docv) SAT conflicts (summed over \
+           solver calls within one budget scope); the answer degrades to \
+           unknown (see $(b,--on-exhaust)).")
+
+let budget_ms_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "budget-ms" ] ~docv:"MS"
+        ~doc:
+          "Wall-clock deadline in milliseconds per budget scope (per query \
+           cell in sweeps).  Wall deadlines are inherently nondeterministic \
+           — prefer $(b,--budget-conflicts)/$(b,--budget-ticks) for \
+           reproducible degradation.")
+
+let budget_ticks_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "budget-ticks" ] ~docv:"N"
+        ~doc:
+          "Logical deadline: at most $(docv) budget ticks (each SAT \
+           conflict, solver call, CEGAR round and engine oracle op is one \
+           tick).  Deterministic: the same command degrades the same cells \
+           every run, at every --jobs.")
+
+let on_exhaust_arg =
+  Arg.(
+    value
+    & opt (enum [ ("unknown", `Unknown); ("retry", `Retry); ("fail", `Fail) ])
+        `Unknown
+    & info [ "on-exhaust" ] ~docv:"MODE"
+        ~doc:
+          "What to do when a budget trips: $(b,unknown) reports the cell \
+           as unknown and continues; $(b,retry) retries the cell once with \
+           every cap escalated 4x before giving up; $(b,fail) aborts the \
+           command with an error.")
+
+let budget_term =
+  let make conflicts wall_ms ticks on_exhaust =
+    { limits = Budget.limits ?conflicts ?wall_ms ?ticks (); on_exhaust }
+  in
+  Term.(
+    const make $ budget_conflicts_arg $ budget_ms_arg $ budget_ticks_arg
+    $ on_exhaust_arg)
+
+(* Count of answers this process degraded to unknown; a non-zero count
+   turns exit code 0 into 7 at the very end. *)
+let degraded_cells = ref 0
+
+let exit_degraded = 7
+
+(* Run a whole single-query command under one budget token.  [`Retry]
+   escalates once (only after genuine exhaustion — a cancelled or
+   fault-injected run would just trip again). *)
+let budgeted_run bopts f =
+  if Budget.is_unlimited bopts.limits then f ()
+  else begin
+    let attempt lims = Budget.with_token (Budget.token lims) f in
+    match attempt bopts.limits with
+    | r -> r
+    | exception Budget.Out_of_budget reason ->
+      let retried =
+        if bopts.on_exhaust = `Retry && reason = Budget.Budget_exhausted then
+          match attempt (Budget.escalate bopts.limits) with
+          | r -> Some r
+          | exception Budget.Out_of_budget _ -> None
+        else None
+      in
+      (match retried with
+      | Some r -> r
+      | None ->
+        if bopts.on_exhaust = `Fail then
+          Error
+            (`Msg
+              (Printf.sprintf "budget exhausted (%s)"
+                 (Budget.string_of_reason reason)))
+        else begin
+          incr degraded_cells;
+          Fmt.pr "unknown (%s)@." (Budget.string_of_reason reason);
+          Ok ()
+        end)
+  end
 
 (* --- tracing (every subcommand takes --trace/--trace-clock) --- *)
 
@@ -426,39 +532,94 @@ let select_sems db sem_name =
       skipped;
     Ok run
 
+let is_unknown = function Budget.Unknown _ -> true | Budget.True | Budget.False -> false
+
+(* Close out a budgeted sweep: --on-exhaust fail turns any degraded cell
+   into a hard error; otherwise the cells count toward exit code 7. *)
+let finish_sweep3 bopts unknowns k =
+  if bopts.on_exhaust = `Fail && unknowns > 0 then
+    Error (`Msg (Printf.sprintf "budget exhausted on %d cell(s)" unknowns))
+  else begin
+    degraded_cells := !degraded_cells + unknowns;
+    k ()
+  end
+
 (* Run the closed-world query workload (two passes of a full ± literal
    sweep plus an existence check) across a pool of worker domains, one
    memoizing oracle engine per worker, and print the merged per-semantics
-   stats record as JSON — same schema as a single engine's.  --no-cache
-   replays the workload on cache-disabled shards (the direct fresh-solver
-   path) for ablation. *)
-let stats db sem_name no_cache jobs ~pinned =
+   stats record as JSON — same schema as a single engine's (the "unknowns"
+   counters are zero on unbudgeted runs).  --no-cache replays the workload
+   on cache-disabled shards (the direct fresh-solver path) for ablation. *)
+let stats db sem_name no_cache jobs ~pinned bopts =
   Result.bind (select_sems db sem_name) @@ fun sems ->
   Batch.with_batch ?jobs ~cache:(not no_cache) ~pinned @@ fun b ->
-  for _pass = 1 to 2 do
-    ignore (Batch.literal_sweep b ~sems db);
-    ignore (Batch.exists_sweep b ~sems db)
-  done;
-  Fmt.pr "%s@." (Batch.stats_json b);
-  Ok ()
+  if Budget.is_unlimited bopts.limits then begin
+    for _pass = 1 to 2 do
+      ignore (Batch.literal_sweep b ~sems db);
+      ignore (Batch.exists_sweep b ~sems db)
+    done;
+    Fmt.pr "%s@." (Batch.stats_json b);
+    Ok ()
+  end
+  else begin
+    let retry = bopts.on_exhaust = `Retry in
+    let limits = bopts.limits in
+    let unknowns = ref 0 in
+    for _pass = 1 to 2 do
+      List.iter
+        (fun (_, answers) ->
+          List.iter (fun (_, a) -> if is_unknown a then incr unknowns) answers)
+        (Batch.literal_sweep3 b ~sems ~retry ~limits db);
+      List.iter
+        (fun (_, a) -> if is_unknown a then incr unknowns)
+        (Batch.exists_sweep3 b ~sems ~retry ~limits db)
+    done;
+    finish_sweep3 bopts !unknowns @@ fun () ->
+    Fmt.pr "%s@." (Batch.stats_json b);
+    Ok ()
+  end
 
 (* Print every ± literal's answer under every selected semantics.  Output
    order is fixed (semantics in registry order, ¬x before x, atoms
-   ascending) and independent of --jobs. *)
-let sweep db sem_name no_cache jobs ~pinned =
+   ascending) and independent of --jobs.  Under a budget every cell runs on
+   its own token and degraded cells print |? instead of |=/|/=. *)
+let sweep db sem_name no_cache jobs ~pinned bopts =
   Result.bind (select_sems db sem_name) @@ fun sems ->
   Batch.with_batch ?jobs ~cache:(not no_cache) ~pinned @@ fun b ->
   let vocab = Db.vocab db in
-  List.iter
-    (fun (sem, answers) ->
-      List.iter
-        (fun (l, ans) ->
-          Fmt.pr "%-8s %s %a@." sem
-            (if ans then "|=" else "|/=")
-            (Lit.pp ~vocab) l)
-        answers)
-    (Batch.literal_sweep b ~sems db);
-  Ok ()
+  if Budget.is_unlimited bopts.limits then begin
+    List.iter
+      (fun (sem, answers) ->
+        List.iter
+          (fun (l, ans) ->
+            Fmt.pr "%-8s %s %a@." sem
+              (if ans then "|=" else "|/=")
+              (Lit.pp ~vocab) l)
+          answers)
+      (Batch.literal_sweep b ~sems db);
+    Ok ()
+  end
+  else begin
+    let retry = bopts.on_exhaust = `Retry in
+    let unknowns = ref 0 in
+    let rows = Batch.literal_sweep3 b ~sems ~retry ~limits:bopts.limits db in
+    List.iter
+      (fun (sem, answers) ->
+        List.iter
+          (fun (l, ans) ->
+            let rel =
+              match ans with
+              | Budget.True -> "|="
+              | Budget.False -> "|/="
+              | Budget.Unknown _ ->
+                incr unknowns;
+                "|?"
+            in
+            Fmt.pr "%-8s %s %a@." sem rel (Lit.pp ~vocab) l)
+          answers)
+      rows;
+    finish_sweep3 bopts !unknowns @@ fun () -> Ok ()
+  end
 
 let stats_sem_arg =
   Arg.(
@@ -485,14 +646,29 @@ let no_cache_flag =
    per-oracle-kind latency table (merged across workers).  Latencies are in
    wall µs, or in deterministic probe ticks while --trace (logical clock)
    is active — the unit is printed in the header. *)
-let profile db sem_name no_cache jobs =
+let profile db sem_name no_cache jobs bopts =
   Result.bind (select_sems db sem_name) @@ fun sems ->
   Batch.with_batch ?jobs ~cache:(not no_cache) ~pinned:true ~profile:true
   @@ fun b ->
+  let unknowns = ref 0 in
+  let retry = bopts.on_exhaust = `Retry in
+  let limits = bopts.limits in
   for _pass = 1 to 2 do
-    ignore (Batch.literal_sweep b ~sems db);
-    ignore (Batch.exists_sweep b ~sems db)
+    if Budget.is_unlimited limits then begin
+      ignore (Batch.literal_sweep b ~sems db);
+      ignore (Batch.exists_sweep b ~sems db)
+    end
+    else begin
+      List.iter
+        (fun (_, answers) ->
+          List.iter (fun (_, a) -> if is_unknown a then incr unknowns) answers)
+        (Batch.literal_sweep3 b ~sems ~retry ~limits db);
+      List.iter
+        (fun (_, a) -> if is_unknown a then incr unknowns)
+        (Batch.exists_sweep3 b ~sems ~retry ~limits db)
+    end
   done;
+  finish_sweep3 bopts !unknowns @@ fun () ->
   let merged =
     Metrics.merge (List.map Ddb_engine.Engine.metrics (Batch.engines b))
   in
@@ -525,61 +701,111 @@ let handle = function
   | Ok () -> `Ok ()
   | Error (`Msg m) -> `Error (false, m)
 
-(* [run] threads the --trace/--trace-clock options every subcommand takes:
-   [k] receives the remaining arguments and returns the thunk to trace. *)
+(* Every subcommand's exit-status table gains the degraded code. *)
+let exits =
+  Cmd.Exit.info exit_degraded
+    ~doc:
+      "the command completed but at least one answer degraded to unknown \
+       because a $(b,--budget-*) cap tripped (and $(b,--on-exhaust) was not \
+       $(b,fail))."
+  :: Cmd.Exit.defaults
+
+(* The budget contract, shared by every subcommand's man page. *)
+let budget_man =
+  [
+    `S "BUDGETS";
+    `P
+      "$(b,--budget-conflicts), $(b,--budget-ticks) and $(b,--budget-ms) \
+       bound the oracle work of the run.  Single-query commands run under \
+       one budget; $(b,stats)/$(b,sweep)/$(b,profile) mint a fresh budget \
+       per (semantics, query) cell, so one pathological cell degrades \
+       alone.  A tripped budget degrades the answer to $(i,unknown) — \
+       sweeps print $(b,|?) for the cell — and the process exits with \
+       status 7 so scripts can tell a complete run from a clipped one.  \
+       Conflict and tick caps are deterministic (the same cells degrade \
+       every run, at every $(b,--jobs)); wall deadlines are not.";
+  ]
+
+(* [run] threads the --trace/--trace-clock/--budget-* options every
+   subcommand takes: the traced thunk runs under one whole-command budget
+   token for the single-query commands. *)
 let classify_cmd =
-  Cmd.v (Cmd.info "classify" ~doc:"Classify a database (DDDB/DSDB/DNDB, strata)")
+  Cmd.v
+    (Cmd.info "classify" ~exits ~man:budget_man
+       ~doc:"Classify a database (DDDB/DSDB/DNDB, strata)")
     Term.(
       ret
-        (const (fun trace clock db ->
-             handle (traced trace clock (fun () -> classify db)))
-        $ trace_arg $ trace_clock_arg $ db_arg))
-
-let models_cmd =
-  Cmd.v (Cmd.info "models" ~doc:"List the models under a semantics")
-    Term.(
-      ret
-        (const (fun trace clock db sem limit brute ->
-             handle (traced trace clock (fun () -> models db sem limit brute)))
-        $ trace_arg $ trace_clock_arg $ db_arg $ semantics_arg $ limit_arg
-        $ brute_arg))
-
-let query_cmd =
-  Cmd.v (Cmd.info "query" ~doc:"Decide SEM(DB) |= FORMULA (cautious or brave)")
-    Term.(
-      ret
-        (const (fun trace clock db sem q brave witness minimize fixed vary ->
+        (const (fun trace clock bopts db ->
              handle
                (traced trace clock (fun () ->
-                    query db sem q brave witness ~minimize ~fixed ~vary)))
-        $ trace_arg $ trace_clock_arg $ db_arg $ semantics_arg $ query_str_arg
-        $ brave_flag $ witness_flag $ minimize_arg $ fixed_arg $ vary_arg))
+                    budgeted_run bopts (fun () -> classify db))))
+        $ trace_arg $ trace_clock_arg $ budget_term $ db_arg))
 
-let exists_cmd =
-  Cmd.v (Cmd.info "exists" ~doc:"Decide whether SEM(DB) has a model")
+let models_cmd =
+  Cmd.v
+    (Cmd.info "models" ~exits ~man:budget_man
+       ~doc:"List the models under a semantics")
     Term.(
       ret
-        (const (fun trace clock db sem ->
-             handle (traced trace clock (fun () -> exists db sem)))
-        $ trace_arg $ trace_clock_arg $ db_arg $ semantics_arg))
+        (const (fun trace clock bopts db sem limit brute ->
+             handle
+               (traced trace clock (fun () ->
+                    budgeted_run bopts (fun () -> models db sem limit brute))))
+        $ trace_arg $ trace_clock_arg $ budget_term $ db_arg $ semantics_arg
+        $ limit_arg $ brute_arg))
+
+let query_cmd =
+  Cmd.v
+    (Cmd.info "query" ~exits ~man:budget_man
+       ~doc:"Decide SEM(DB) |= FORMULA (cautious or brave)")
+    Term.(
+      ret
+        (const
+           (fun trace clock bopts db sem q brave witness minimize fixed vary ->
+             handle
+               (traced trace clock (fun () ->
+                    budgeted_run bopts (fun () ->
+                        query db sem q brave witness ~minimize ~fixed ~vary))))
+        $ trace_arg $ trace_clock_arg $ budget_term $ db_arg $ semantics_arg
+        $ query_str_arg $ brave_flag $ witness_flag $ minimize_arg $ fixed_arg
+        $ vary_arg))
+
+let exists_cmd =
+  Cmd.v
+    (Cmd.info "exists" ~exits ~man:budget_man
+       ~doc:"Decide whether SEM(DB) has a model")
+    Term.(
+      ret
+        (const (fun trace clock bopts db sem ->
+             handle
+               (traced trace clock (fun () ->
+                    budgeted_run bopts (fun () -> exists db sem))))
+        $ trace_arg $ trace_clock_arg $ budget_term $ db_arg $ semantics_arg))
 
 let ground_cmd =
   Cmd.v
-    (Cmd.info "ground"
+    (Cmd.info "ground" ~exits ~man:budget_man
        ~doc:"Ground a Datalog file and print the propositional program")
     Term.(
       ret
-        (const (fun trace clock path ->
-             handle (traced trace clock (fun () -> ground_cmd_impl path)))
-        $ trace_arg $ trace_clock_arg $ path_arg))
+        (const (fun trace clock bopts path ->
+             handle
+               (traced trace clock (fun () ->
+                    budgeted_run bopts (fun () -> ground_cmd_impl path))))
+        $ trace_arg $ trace_clock_arg $ budget_term $ path_arg))
 
 let count_cmd =
-  Cmd.v (Cmd.info "count" ~doc:"Count the models under a semantics")
+  Cmd.v
+    (Cmd.info "count" ~exits ~man:budget_man
+       ~doc:"Count the models under a semantics")
     Term.(
       ret
-        (const (fun trace clock db sem brute ->
-             handle (traced trace clock (fun () -> count db sem brute)))
-        $ trace_arg $ trace_clock_arg $ db_arg $ semantics_arg $ brute_arg))
+        (const (fun trace clock bopts db sem brute ->
+             handle
+               (traced trace clock (fun () ->
+                    budgeted_run bopts (fun () -> count db sem brute))))
+        $ trace_arg $ trace_clock_arg $ budget_term $ db_arg $ semantics_arg
+        $ brute_arg))
 
 (* --jobs determinism contract, shared by the stats/sweep/profile pages. *)
 let jobs_man =
@@ -601,41 +827,42 @@ let jobs_man =
        with the default logical trace clock the trace file is \
        byte-identical across runs.";
   ]
+  @ budget_man
 
 let stats_cmd =
   Cmd.v
-    (Cmd.info "stats" ~man:jobs_man
+    (Cmd.info "stats" ~exits ~man:jobs_man
        ~doc:
          "Sweep all ± literal queries through sharded memoizing oracle \
           engines (--jobs worker domains) and print the merged \
           instrumentation record as JSON")
     Term.(
       ret
-        (const (fun trace clock db sem no_cache jobs ->
+        (const (fun trace clock bopts db sem no_cache jobs ->
              handle
                (traced trace clock (fun () ->
-                    stats db sem no_cache jobs ~pinned:(trace <> None))))
-        $ trace_arg $ trace_clock_arg $ db_arg $ stats_sem_arg $ no_cache_flag
-        $ jobs_arg))
+                    stats db sem no_cache jobs ~pinned:(trace <> None) bopts)))
+        $ trace_arg $ trace_clock_arg $ budget_term $ db_arg $ stats_sem_arg
+        $ no_cache_flag $ jobs_arg))
 
 let sweep_cmd =
   Cmd.v
-    (Cmd.info "sweep" ~man:jobs_man
+    (Cmd.info "sweep" ~exits ~man:jobs_man
        ~doc:
          "Answer every ± literal query under every applicable semantics, \
           fanned out over --jobs worker domains")
     Term.(
       ret
-        (const (fun trace clock db sem no_cache jobs ->
+        (const (fun trace clock bopts db sem no_cache jobs ->
              handle
                (traced trace clock (fun () ->
-                    sweep db sem no_cache jobs ~pinned:(trace <> None))))
-        $ trace_arg $ trace_clock_arg $ db_arg $ stats_sem_arg $ no_cache_flag
-        $ jobs_arg))
+                    sweep db sem no_cache jobs ~pinned:(trace <> None) bopts)))
+        $ trace_arg $ trace_clock_arg $ budget_term $ db_arg $ stats_sem_arg
+        $ no_cache_flag $ jobs_arg))
 
 let profile_cmd =
   Cmd.v
-    (Cmd.info "profile" ~man:jobs_man
+    (Cmd.info "profile" ~exits ~man:jobs_man
        ~doc:
          "Run the stats workload with per-oracle-kind latency histograms \
           and print a p50/p90/p99 table (merged across --jobs workers; \
@@ -643,11 +870,12 @@ let profile_cmd =
           deterministic logical ticks; without it, wall microseconds")
     Term.(
       ret
-        (const (fun trace clock db sem no_cache jobs ->
+        (const (fun trace clock bopts db sem no_cache jobs ->
              handle
-               (traced trace clock (fun () -> profile db sem no_cache jobs)))
-        $ trace_arg $ trace_clock_arg $ db_arg $ stats_sem_arg $ no_cache_flag
-        $ jobs_arg))
+               (traced trace clock (fun () ->
+                    profile db sem no_cache jobs bopts)))
+        $ trace_arg $ trace_clock_arg $ budget_term $ db_arg $ stats_sem_arg
+        $ no_cache_flag $ jobs_arg))
 
 let semantics_cmd =
   Cmd.v (Cmd.info "semantics" ~doc:"List the available semantics")
@@ -665,10 +893,14 @@ let version_cmd =
 let main_cmd =
   let doc = "disjunctive database semantics (Eiter & Gottlob, PODS-93)" in
   Cmd.group
-    (Cmd.info "ddbtool" ~version ~doc)
+    (Cmd.info "ddbtool" ~version ~doc ~exits ~man:budget_man)
     [
       classify_cmd; models_cmd; query_cmd; exists_cmd; count_cmd; ground_cmd;
       stats_cmd; sweep_cmd; profile_cmd; semantics_cmd; version_cmd;
     ]
 
-let () = exit (Cmd.eval main_cmd)
+(* A clean run that nevertheless degraded some answer exits 7, so callers
+   can distinguish "all definite" from "completed but clipped". *)
+let () =
+  let code = Cmd.eval main_cmd in
+  exit (if code = 0 && !degraded_cells > 0 then exit_degraded else code)

@@ -46,7 +46,7 @@ let has_model db =
   if Db.is_positive_ddb db then true (* DSM = MM, and MM(DB) ≠ ∅ *)
   else Option.is_some (find_stable_such_that db)
 
-let stable_models ?limit db =
+let stable_models ?limit ?truncated db =
   let acc = ref [] in
   let count = ref 0 in
   Ddb_sat.Minimal.iter_minimal (Db.theory db) (fun m ->
@@ -55,7 +55,9 @@ let stable_models ?limit db =
         incr count
       end;
       match limit with
-      | Some k when !count >= k -> `Stop
+      | Some k when !count >= k ->
+        Option.iter (fun r -> r := true) truncated;
+        `Stop
       | _ -> `Continue);
   List.rev !acc
 

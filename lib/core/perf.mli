@@ -12,7 +12,10 @@ val find_perfect_such_that :
 val infer_formula : Db.t -> Formula.t -> bool
 val infer_literal : Db.t -> Lit.t -> bool
 val has_model : Db.t -> bool
-val perfect_models : ?limit:int -> Db.t -> Interp.t list
+val perfect_models :
+  ?limit:int -> ?truncated:bool ref -> Db.t -> Interp.t list
+(** A [limit]-cut enumeration sets [truncated] (if given) to [true]. *)
+
 val reference_models : Db.t -> Interp.t list
 val semantics : Semantics.t
 

@@ -71,3 +71,23 @@ let in_exn eng name =
 let infer_literal_in eng ~sem db l = (in_exn eng sem).Semantics.infer_literal db l
 let infer_formula_in eng ~sem db f = (in_exn eng sem).Semantics.infer_formula db f
 let has_model_in eng ~sem db = (in_exn eng sem).Semantics.has_model db
+
+(* Three-valued (budgeted) variants: same queries under a fresh budget
+   token, degrading to [Unknown] instead of running unboundedly.  The
+   engine records each degraded cell in its [unknowns] counters; the memo
+   only ever sees definite answers (the budget trip unwinds first). *)
+
+let infer_literal3_in ?retry ?group eng ~limits ~sem db l =
+  let s = in_exn eng sem in
+  Ddb_engine.Engine.budgeted ?retry ?group eng limits ~sem (fun () ->
+      s.Semantics.infer_literal db l)
+
+let infer_formula3_in ?retry ?group eng ~limits ~sem db f =
+  let s = in_exn eng sem in
+  Ddb_engine.Engine.budgeted ?retry ?group eng limits ~sem (fun () ->
+      s.Semantics.infer_formula db f)
+
+let has_model3_in ?retry ?group eng ~limits ~sem db =
+  let s = in_exn eng sem in
+  Ddb_engine.Engine.budgeted ?retry ?group eng limits ~sem (fun () ->
+      s.Semantics.has_model db)

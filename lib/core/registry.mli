@@ -30,3 +30,39 @@ val infer_formula_in :
   Ddb_engine.Engine.t -> sem:string -> Ddb_db.Db.t -> Ddb_logic.Formula.t -> bool
 
 val has_model_in : Ddb_engine.Engine.t -> sem:string -> Ddb_db.Db.t -> bool
+
+(** {2 Budgeted (three-valued) variants}
+
+    Same queries, run under a fresh {!Ddb_budget.Budget} token minted from
+    [limits]: the answer is [True]/[False], or [Unknown reason] when the
+    budget trips (see {!Ddb_engine.Engine.budgeted} for [retry] — the
+    escalate-once ladder, off by default — and [group] cancellation). *)
+
+val infer_literal3_in :
+  ?retry:bool ->
+  ?group:Ddb_budget.Budget.group ->
+  Ddb_engine.Engine.t ->
+  limits:Ddb_budget.Budget.limits ->
+  sem:string ->
+  Ddb_db.Db.t ->
+  Ddb_logic.Lit.t ->
+  Ddb_engine.Engine.answer
+
+val infer_formula3_in :
+  ?retry:bool ->
+  ?group:Ddb_budget.Budget.group ->
+  Ddb_engine.Engine.t ->
+  limits:Ddb_budget.Budget.limits ->
+  sem:string ->
+  Ddb_db.Db.t ->
+  Ddb_logic.Formula.t ->
+  Ddb_engine.Engine.answer
+
+val has_model3_in :
+  ?retry:bool ->
+  ?group:Ddb_budget.Budget.group ->
+  Ddb_engine.Engine.t ->
+  limits:Ddb_budget.Budget.limits ->
+  sem:string ->
+  Ddb_db.Db.t ->
+  Ddb_engine.Engine.answer

@@ -20,10 +20,11 @@ let some_model db =
   | Solver.Sat -> Some (Solver.model ~universe:(Db.num_vars db) solver)
   | Solver.Unsat -> None
 
-let all_models ?limit db =
-  Enum.all_models ?limit ~num_vars:(Db.num_vars db) (Db.to_cnf db)
+let all_models ?limit ?truncated db =
+  Enum.all_models ?limit ?truncated ~num_vars:(Db.num_vars db) (Db.to_cnf db)
 
-let minimal_models ?limit db = Minimal.all_minimal ?limit (Db.theory db)
+let minimal_models ?limit ?truncated db =
+  Minimal.all_minimal ?limit ?truncated (Db.theory db)
 
 let is_minimal_model ?part db m =
   let part =
@@ -42,7 +43,7 @@ let some_minimal_model ?part db =
    completion found by the solver.  (The full MM(DB;P;Z) also contains every
    Z-variant; for entailment questions use [entails_*] below, which quantify
    over all of them.) *)
-let minimal_section_models ?limit db part =
+let minimal_section_models ?limit ?truncated db part =
   let theory = Db.theory db in
   let candidate = Minimal.solver_of theory in
   let minimizer = Minimal.solver_of theory in
@@ -60,6 +61,8 @@ let minimal_section_models ?limit db part =
       if !budget > 0 then decr budget;
       Solver.add_clause candidate (Minimal.cone_blocking part m_min)
   done;
+  if !continue && !budget = 0 then
+    Option.iter (fun r -> r := true) truncated;
   List.rev !acc
 
 (* SEM-entailment for semantics whose model set is MM(DB;P;Z): does every

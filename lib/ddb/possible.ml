@@ -56,7 +56,7 @@ let is_possible_model db m =
 
 (* All possible models: enumerate models of DB, keep the possible ones.
    (Possible models are models; the polynomial check filters.) *)
-let possible_models ?limit db =
+let possible_models ?limit ?truncated db =
   check_dddb db;
   let solver = Db.solver db in
   let n = Db.num_vars db in
@@ -72,7 +72,11 @@ let possible_models ?limit db =
         incr count
       end;
       match limit with
-      | Some k when !count >= k -> `Stop
+      | Some k when !count >= k ->
+        (* Stopping at the cap before the enumeration proved itself
+           complete: flag it (this was silent). *)
+        Option.iter (fun r -> r := true) truncated;
+        `Stop
       | _ -> `Continue);
   List.rev !acc
 

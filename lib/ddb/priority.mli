@@ -25,4 +25,8 @@ val preferable : t -> candidate:Interp.t -> over:Interp.t -> bool
 (** Reference definition of N ≺ M on explicit interpretations. *)
 
 val brute_perfect_models : Db.t -> Interp.t list
-val perfect_models : ?limit:int -> Db.t -> Interp.t list
+
+val perfect_models :
+  ?limit:int -> ?truncated:bool ref -> Db.t -> Interp.t list
+(** [limit] bounds the underlying minimal-model enumeration; a cut-short
+    enumeration sets [truncated] (if given) to [true]. *)

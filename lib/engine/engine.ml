@@ -42,6 +42,7 @@ type counters = {
   mutable conflicts : int;
   mutable decisions : int;
   mutable propagations : int;
+  mutable unknowns : int;
   mutable time_ms : float;
 }
 
@@ -55,6 +56,7 @@ let fresh_counters () =
     conflicts = 0;
     decisions = 0;
     propagations = 0;
+    unknowns = 0;
     time_ms = 0.;
   }
 
@@ -180,6 +182,7 @@ let reset t =
   c.conflicts <- 0;
   c.decisions <- 0;
   c.propagations <- 0;
+  c.unknowns <- 0;
   c.time_ms <- 0.
 
 let theory_key t db =
@@ -213,7 +216,11 @@ let bump f t =
   f t.total;
   match t.scope with None -> () | Some (_, c) -> f c
 
-let tick t = bump (fun c -> c.oracle_calls <- c.oracle_calls + 1) t
+let tick t =
+  bump (fun c -> c.oracle_calls <- c.oracle_calls + 1) t;
+  (* One logical budget tick per engine oracle op — also the hook the
+     deterministic fault injector counts down on. *)
+  Ddb_budget.Budget.on_oracle_op ()
 let hit t = bump (fun c -> c.cache_hits <- c.cache_hits + 1) t
 let miss t = bump (fun c -> c.cache_misses <- c.cache_misses + 1) t
 
@@ -468,13 +475,13 @@ let in_some_minimal t db part x =
   end
 
 (* All ⊆-minimal models (total partition). *)
-let minimal_models ?limit t db =
+let minimal_models ?limit ?truncated t db =
   tick t;
   instrumented t ~op:"minimal_models" db (fun () ->
       match limit with
       | Some _ ->
         (* limited enumerations are cheap and caller-specific: never cached *)
-        Minimal.all_minimal ?limit (Db.theory db)
+        Minimal.all_minimal ?limit ?truncated (Db.theory db)
       | None ->
         if not t.cache then Minimal.all_minimal (Db.theory db)
         else begin
@@ -528,6 +535,45 @@ let cached_bool ?part ?formula ?(arg = -1) t ~sem ~op db compute =
       end)
 
 (* ------------------------------------------------------------------ *)
+(* Budgeted (three-valued) evaluation                                  *)
+
+type answer = Ddb_budget.Budget.answer =
+  | True
+  | False
+  | Unknown of Ddb_budget.Budget.reason
+
+(* Degradation bookkeeping: the memo tables need no special handling —
+   [Out_of_budget] unwinds out of [memo]'s compute thunk before the
+   [Hashtbl.add], so only definite answers are ever cached.  All that is
+   left to record here is the fact that a cell degraded. *)
+let record_unknown t ~sem =
+  t.total.unknowns <- t.total.unknowns + 1;
+  let c = scope_counters t sem in
+  c.unknowns <- c.unknowns + 1;
+  if t.profile then
+    Ddb_obs.Metrics.incr_counter t.metrics "budget.exhausted"
+
+let budgeted ?(retry = false) ?(factor = 4) ?group t limits ~sem f =
+  let module B = Ddb_budget.Budget in
+  let run lims = B.eval ?group lims (fun () -> scoped t sem f) in
+  match run limits with
+  | (True | False) as a -> a
+  | Unknown r as a ->
+    record_unknown t ~sem;
+    (* Retry ladder (off by default): one more attempt with every cap
+       escalated.  Only exhaustion is worth retrying — a cancelled or
+       fault-injected cell would just trip again. *)
+    if retry && r = B.Budget_exhausted && not (B.is_unlimited limits) then begin
+      if t.profile then Ddb_obs.Metrics.incr_counter t.metrics "budget.retry";
+      match run (B.escalate ~factor limits) with
+      | (True | False) as a' -> a'
+      | Unknown _ as a' ->
+        record_unknown t ~sem;
+        a'
+    end
+    else a
+
+(* ------------------------------------------------------------------ *)
 (* Stats reporting                                                     *)
 
 type stats = {
@@ -540,6 +586,7 @@ type stats = {
   sat_conflicts : int;
   sat_decisions : int;
   sat_propagations : int;
+  unknowns : int;
   wall_ms : float;
 }
 
@@ -554,6 +601,7 @@ let stats_of_counters scope (c : counters) =
     sat_conflicts = c.conflicts;
     sat_decisions = c.decisions;
     sat_propagations = c.propagations;
+    unknowns = c.unknowns;
     wall_ms = c.time_ms;
   }
 
@@ -581,6 +629,7 @@ let add_stats ~scope a b =
     sat_conflicts = a.sat_conflicts + b.sat_conflicts;
     sat_decisions = a.sat_decisions + b.sat_decisions;
     sat_propagations = a.sat_propagations + b.sat_propagations;
+    unknowns = a.unknowns + b.unknowns;
     wall_ms = a.wall_ms +. b.wall_ms;
   }
 
@@ -595,6 +644,7 @@ let zero_stats scope =
     sat_conflicts = 0;
     sat_decisions = 0;
     sat_propagations = 0;
+    unknowns = 0;
     wall_ms = 0.;
   }
 
@@ -622,19 +672,19 @@ let merge_per_scope engines =
 let pp_stats ppf s =
   Fmt.pf ppf
     "%s: oracle=%d hits=%d misses=%d sat=%d sigma2=%d conflicts=%d \
-     decisions=%d props=%d %.2fms"
+     decisions=%d props=%d unknowns=%d %.2fms"
     s.scope s.oracle_calls s.cache_hits s.cache_misses s.sat_solve_calls
     s.sigma2_queries s.sat_conflicts s.sat_decisions s.sat_propagations
-    s.wall_ms
+    s.unknowns s.wall_ms
 
 (* JSON emission (hand-rolled; schema documented in EXPERIMENTS.md). *)
 
 let json_of_stats s =
   Printf.sprintf
-    {|{"oracle_calls":%d,"cache_hits":%d,"cache_misses":%d,"sat_solve_calls":%d,"sigma2_queries":%d,"sat_conflicts":%d,"sat_decisions":%d,"sat_propagations":%d,"wall_ms":%.3f}|}
+    {|{"oracle_calls":%d,"cache_hits":%d,"cache_misses":%d,"sat_solve_calls":%d,"sigma2_queries":%d,"sat_conflicts":%d,"sat_decisions":%d,"sat_propagations":%d,"unknowns":%d,"wall_ms":%.3f}|}
     s.oracle_calls s.cache_hits s.cache_misses s.sat_solve_calls
     s.sigma2_queries s.sat_conflicts s.sat_decisions s.sat_propagations
-    s.wall_ms
+    s.unknowns s.wall_ms
 
 let json_escape s =
   let buf = Buffer.create (String.length s + 2) in

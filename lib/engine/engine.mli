@@ -74,9 +74,12 @@ val in_some_minimal : t -> Db.t -> Partition.t -> int -> bool
     from the memoized support set; direct engines issue one constrained
     minimal-model query.  The atom must belong to [P]. *)
 
-val minimal_models : ?limit:int -> t -> Db.t -> Interp.t list
+val minimal_models :
+  ?limit:int -> ?truncated:bool ref -> t -> Db.t -> Interp.t list
 (** All ⊆-minimal models (total partition).  Unlimited enumerations are
-    memoized; limited ones are caller-specific and never cached. *)
+    memoized; limited ones are caller-specific and never cached.  When
+    [limit] cuts the enumeration short, [truncated] (if given) is set to
+    [true] (see {!Ddb_sat.Minimal.all_minimal}). *)
 
 val minimal_entails : ?part:Partition.t -> t -> Db.t -> Formula.t -> bool
 (** [MM(DB;P;Z) ⊨ F] (default partition: minimize everything). *)
@@ -98,6 +101,33 @@ val cached_bool :
     decompose: canonicalizes the database, keys on
     [(sem, op, part, formula, arg)], instruments, and delegates to the
     thunk on a miss (or always, for direct engines). *)
+
+(** {1 Budgeted (three-valued) evaluation} *)
+
+type answer = Ddb_budget.Budget.answer =
+  | True
+  | False
+  | Unknown of Ddb_budget.Budget.reason
+      (** Re-exported so engine clients need not name [Ddb_budget]. *)
+
+val budgeted :
+  ?retry:bool ->
+  ?factor:int ->
+  ?group:Ddb_budget.Budget.group ->
+  t ->
+  Ddb_budget.Budget.limits ->
+  sem:string ->
+  (unit -> bool) ->
+  answer
+(** [budgeted t limits ~sem f] mints a budget token, runs [f] under it in
+    the [sem] scope, and degrades to [Unknown] when the budget trips.
+    Only definite answers can have been memoized (the trip unwinds before
+    any cache write); each degraded evaluation bumps the [unknowns]
+    counter (total and per-[sem]) and — while profiling — the
+    [budget.exhausted] metrics counter.  With [retry:true] (default
+    [false]), a [Budget_exhausted] answer is retried once with every cap
+    escalated by [factor] (default 4; counted under [budget.retry]).
+    [group] joins the token to a cancellation group. *)
 
 (** {1 Instrumentation} *)
 
@@ -131,6 +161,7 @@ type stats = {
   sat_conflicts : int;
   sat_decisions : int;
   sat_propagations : int;
+  unknowns : int;  (** budgeted evaluations that degraded to [Unknown] *)
   wall_ms : float;
 }
 

@@ -52,9 +52,9 @@ let with_batch ?jobs ?cache ?pinned ?profile f =
    profiling — item→worker placement then is a pure function of the query
    list, so per-worker trace streams and per-shard metrics are
    reproducible. *)
-let map t ?chunk_size f xs =
-  if t.pinned then Parallel.map_pinned_in t.pool f xs
-  else Parallel.map_chunked_in t.pool ?chunk_size f xs
+let map t ?cancel_on_error ?chunk_size f xs =
+  if t.pinned then Parallel.map_pinned_in t.pool ?cancel_on_error f xs
+  else Parallel.map_chunked_in t.pool ?cancel_on_error ?chunk_size f xs
 
 let sem_for t ~worker name =
   match List.assoc_opt name t.sems.(worker) with
@@ -135,6 +135,64 @@ let instance_sweep t ?sems dbs =
       mine :: split rest others
   in
   split dbs swept
+
+(* --- budgeted (three-valued) sweeps ---
+
+   Same shapes as the boolean sweeps, but every cell runs under its own
+   fresh budget token minted from [limits] inside the task — which is what
+   makes per-cell wall deadlines meaningful (each cell's clock starts when
+   the cell starts) and keeps logical caps context-free per cell.  With
+   [cancel_on_error] the tokens additionally join the group, so one task
+   exception degrades the remaining cells to [Cancelled] instead of
+   hanging the sweep.  For cache-disabled, pinned-or-not batches under
+   purely logical caps the set of [Unknown] cells is identical at every
+   job count (the parallel-determinism law in test/test_budget.ml). *)
+
+let budgeted_cell t ?retry ?group ~worker ~limits name f =
+  Engine.budgeted ?retry ?group t.engines.(worker) limits ~sem:name f
+
+let literal_sweep3 t ?sems ?retry ?cancel_on_error ~limits db =
+  let names = default_sems db sems in
+  let lits = pm_literals db in
+  let items = List.concat_map (fun n -> List.map (fun l -> (n, l)) lits) names in
+  let answers =
+    map t ?cancel_on_error
+      (fun ~worker (name, l) ->
+        let s = sem_for t ~worker name in
+        budgeted_cell t ?retry ?group:cancel_on_error ~worker ~limits name
+          (fun () -> s.Semantics.infer_literal db l))
+      items
+  in
+  let per_sem = List.length lits in
+  let rec split names answers =
+    match names with
+    | [] -> []
+    | name :: rest ->
+      let mine = List.filteri (fun i _ -> i < per_sem) answers in
+      let others = List.filteri (fun i _ -> i >= per_sem) answers in
+      (name, List.combine lits mine) :: split rest others
+  in
+  split names answers
+
+let all_semantics3 t ?sems ?retry ?cancel_on_error ~limits db f =
+  let names = default_sems db sems in
+  map t ?cancel_on_error ~chunk_size:1
+    (fun ~worker name ->
+      let s = sem_for t ~worker name in
+      ( name,
+        budgeted_cell t ?retry ?group:cancel_on_error ~worker ~limits name
+          (fun () -> s.Semantics.infer_formula db f) ))
+    names
+
+let exists_sweep3 t ?sems ?retry ?cancel_on_error ~limits db =
+  let names = default_sems db sems in
+  map t ?cancel_on_error ~chunk_size:1
+    (fun ~worker name ->
+      let s = sem_for t ~worker name in
+      ( name,
+        budgeted_cell t ?retry ?group:cancel_on_error ~worker ~limits name
+          (fun () -> s.Semantics.has_model db) ))
+    names
 
 let totals t = Engine.merge_stats (engines t)
 let metrics_json t = Engine.merged_metrics_json (engines t)

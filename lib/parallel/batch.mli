@@ -64,6 +64,48 @@ val instance_sweep :
     (instance, semantics) pair — the batch shape of the bench harness's
     seeded random-DB sweeps.  Result [i] is instance [i]'s sweep. *)
 
+(** {2 Budgeted (three-valued) sweeps}
+
+    Same shapes, but every cell runs under its own fresh
+    {!Ddb_budget.Budget} token minted from [limits] inside the task —
+    per-cell wall deadlines start when the cell starts; logical caps are
+    context-free per cell.  Degraded cells answer
+    [Unknown]; definite answers are exactly those of the boolean sweeps.
+    [retry] is the engine's escalate-once ladder (default off).
+    [cancel_on_error] doubles as the cells' cancellation group: the first
+    task exception cancels it, degrading the remaining cells to
+    [Unknown Cancelled] while the pool still drains.  With cache-disabled
+    shards and purely logical caps the set of [Unknown] cells is identical
+    at every job count. *)
+
+val literal_sweep3 :
+  t ->
+  ?sems:string list ->
+  ?retry:bool ->
+  ?cancel_on_error:Ddb_budget.Budget.group ->
+  limits:Ddb_budget.Budget.limits ->
+  Db.t ->
+  (string * (Lit.t * Ddb_engine.Engine.answer) list) list
+
+val all_semantics3 :
+  t ->
+  ?sems:string list ->
+  ?retry:bool ->
+  ?cancel_on_error:Ddb_budget.Budget.group ->
+  limits:Ddb_budget.Budget.limits ->
+  Db.t ->
+  Formula.t ->
+  (string * Ddb_engine.Engine.answer) list
+
+val exists_sweep3 :
+  t ->
+  ?sems:string list ->
+  ?retry:bool ->
+  ?cancel_on_error:Ddb_budget.Budget.group ->
+  limits:Ddb_budget.Budget.limits ->
+  Db.t ->
+  (string * Ddb_engine.Engine.answer) list
+
 (** {1 Merged instrumentation} *)
 
 val totals : t -> Ddb_engine.Engine.stats

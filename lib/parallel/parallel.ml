@@ -22,7 +22,7 @@ let chunk_list ~chunk_size xs =
 
 let default_chunk_size ~jobs n = max 1 (n / (max 1 jobs * 4))
 
-let map_chunked_in pool ?chunk_size f xs =
+let map_chunked_in pool ?cancel_on_error ?chunk_size f xs =
   let n = List.length xs in
   if n = 0 then []
   else begin
@@ -33,7 +33,7 @@ let map_chunked_in pool ?chunk_size f xs =
     in
     let chunks = Array.of_list (chunk_list ~chunk_size xs) in
     let slots = Array.make (Array.length chunks) [] in
-    Pool.run pool
+    Pool.run ?cancel_on_error pool
       (List.init (Array.length chunks) (fun i worker ->
            slots.(i) <- List.map (fun x -> f ~worker x) chunks.(i)));
     List.concat (Array.to_list slots)
@@ -44,14 +44,14 @@ let map_chunked_in pool ?chunk_size f xs =
    is that item→worker placement is a pure function of the input, so the
    per-worker streams a trace records are reproducible.  Results are
    reassembled by item index, same output as [map_chunked_in]. *)
-let map_pinned_in pool f xs =
+let map_pinned_in pool ?cancel_on_error f xs =
   let items = Array.of_list xs in
   let n = Array.length items in
   if n = 0 then []
   else begin
     let jobs = Pool.jobs pool in
     let out = Array.make n None in
-    Pool.run_pinned pool
+    Pool.run_pinned ?cancel_on_error pool
       (Array.init jobs (fun w ->
            if w >= n then []
            else
@@ -69,8 +69,11 @@ let map_pinned_in pool f xs =
         | None -> invalid_arg "Parallel.map_pinned_in: missing slot")
   end
 
-let iter_chunked_in pool ?chunk_size f xs =
-  ignore (map_chunked_in pool ?chunk_size (fun ~worker x -> f ~worker x) xs)
+let iter_chunked_in pool ?cancel_on_error ?chunk_size f xs =
+  ignore
+    (map_chunked_in pool ?cancel_on_error ?chunk_size
+       (fun ~worker x -> f ~worker x)
+       xs)
 
 let map_chunked ?jobs ?chunk_size f xs =
   Pool.with_pool ?jobs (fun pool ->

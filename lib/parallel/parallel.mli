@@ -15,12 +15,24 @@ val map_chunked :
     load-balances uneven task costs. *)
 
 val map_chunked_in :
-  Pool.t -> ?chunk_size:int -> (worker:int -> 'a -> 'b) -> 'a list -> 'b list
+  Pool.t ->
+  ?cancel_on_error:Ddb_budget.Budget.group ->
+  ?chunk_size:int ->
+  (worker:int -> 'a -> 'b) ->
+  'a list ->
+  'b list
 (** Same, on an existing pool; the mapping function additionally receives
     the index of the worker running it — the hook the batch layer uses to
-    pick the worker's own engine shard. *)
+    pick the worker's own engine shard.  [cancel_on_error] is passed to
+    {!Pool.run}: the first chunk exception cancels the group so remaining
+    budget-tokened chunks degrade instead of running on. *)
 
-val map_pinned_in : Pool.t -> (worker:int -> 'a -> 'b) -> 'a list -> 'b list
+val map_pinned_in :
+  Pool.t ->
+  ?cancel_on_error:Ddb_budget.Budget.group ->
+  (worker:int -> 'a -> 'b) ->
+  'a list ->
+  'b list
 (** Like {!map_chunked_in} but item [k] always runs on worker [k mod jobs]
     (via {!Pool.run_pinned}): placement is a pure function of the input, so
     the per-worker event streams an active {!Ddb_obs.Trace} records do not
@@ -29,4 +41,9 @@ val map_pinned_in : Pool.t -> (worker:int -> 'a -> 'b) -> 'a list -> 'b list
     stealing) — use only when placement determinism matters. *)
 
 val iter_chunked_in :
-  Pool.t -> ?chunk_size:int -> (worker:int -> 'a -> unit) -> 'a list -> unit
+  Pool.t ->
+  ?cancel_on_error:Ddb_budget.Budget.group ->
+  ?chunk_size:int ->
+  (worker:int -> 'a -> unit) ->
+  'a list ->
+  unit

@@ -99,7 +99,17 @@ let create ?jobs () =
 
 let jobs t = t.jobs
 
-let run t fs =
+(* Record a task's exception; with [cancel_on_error] set, also cancel the
+   group *immediately* (from the failing worker, not after the join) so the
+   remaining tasks trip [Cancelled] at their next budget probe instead of
+   running to completion. *)
+let record_error ?cancel_on_error store e =
+  (match cancel_on_error with
+  | Some g -> Ddb_budget.Budget.cancel_group g
+  | None -> ());
+  store e
+
+let run ?cancel_on_error t fs =
   let fs = Array.of_list fs in
   let n = Array.length fs in
   if n = 0 then ()
@@ -109,7 +119,11 @@ let run t fs =
     if t.stop then invalid_arg "Pool.run: pool is shut down";
     let errors = Array.make n None in
     Array.iteri
-      (fun i f -> exec_task 0 (fun w -> try f w with e -> errors.(i) <- Some e))
+      (fun i f ->
+        exec_task 0 (fun w ->
+            try f w
+            with e ->
+              record_error ?cancel_on_error (fun e -> errors.(i) <- Some e) e))
       fs;
     Array.iter (function Some e -> raise e | None -> ()) errors
   end
@@ -124,7 +138,10 @@ let run t fs =
     Array.iteri
       (fun i f ->
         Queue.add
-          (fun w -> try f w with e -> errors.(i) <- Some e)
+          (fun w ->
+            try f w
+            with e ->
+              record_error ?cancel_on_error (fun e -> errors.(i) <- Some e) e)
           t.tasks)
       fs;
     Condition.broadcast t.work;
@@ -135,7 +152,7 @@ let run t fs =
     Array.iter (function Some e -> raise e | None -> ()) errors
   end
 
-let run_pinned t per_worker =
+let run_pinned ?cancel_on_error t per_worker =
   if Array.length per_worker <> t.jobs then
     invalid_arg "Pool.run_pinned: need exactly one task list per worker";
   let n = Array.fold_left (fun acc fs -> acc + List.length fs) 0 per_worker in
@@ -147,7 +164,11 @@ let run_pinned t per_worker =
     Array.iter
       (List.iter (fun f ->
            exec_task 0 (fun w ->
-               try f w with e -> errors := e :: !errors)))
+               try f w
+               with e ->
+                 record_error ?cancel_on_error
+                   (fun e -> errors := e :: !errors)
+                   e)))
       per_worker;
     match List.rev !errors with [] -> () | e :: _ -> raise e
   end
@@ -167,7 +188,9 @@ let run_pinned t per_worker =
               (fun w' ->
                 try f w'
                 with e ->
-                  if errors.(w) = None then errors.(w) <- Some e)
+                  record_error ?cancel_on_error
+                    (fun e -> if errors.(w) = None then errors.(w) <- Some e)
+                    e)
               t.pinned.(w))
           fs)
       per_worker;

@@ -50,29 +50,41 @@ let valid_exists_forall ?(max_rounds = max_int) ~num_vars ~xs ~ys matrix =
   Solver.ensure_vars check_solver num_vars;
   let check_aux = Solver.add_formula check_solver ~next_var:num_vars (Formula.not_ matrix) in
   ignore check_aux;
+  let compute_step _round =
+    match Solver.solve abstraction with
+    | Solver.Unsat -> `Done false (* no candidate X-assignment survives *)
+    | Solver.Sat ->
+      let sigma_x = Solver.model ~universe:num_vars abstraction in
+      let pin =
+        List.map
+          (fun x -> if Interp.mem sigma_x x then Lit.Pos x else Lit.Neg x)
+          xs
+      in
+      (match Solver.solve ~assumptions:pin check_solver with
+      | Solver.Unsat -> `Done true (* forall Y phi holds under sigma_x *)
+      | Solver.Sat ->
+        let sigma_y = Solver.model ~universe:num_vars check_solver in
+        (* Refine: phi must hold for this Y-counterexample. *)
+        add_constraint (substitute_block sigma_y ys matrix);
+        `Refine)
+  in
   let rec loop round =
     if round >= max_rounds then raise Too_many_rounds;
+    (* Round boundary: one cooperative budget/cancellation tick per CEGAR
+       refinement round, so a runaway abstraction loop degrades instead of
+       spinning. *)
+    Ddb_budget.Budget.check ();
     let traced = Ddb_obs.Trace.enabled () in
     if traced then
       Ddb_obs.Trace.begin_args n_round
         [ (n_round_attr, Ddb_obs.Trace.Int round) ];
     let step =
-      match Solver.solve abstraction with
-      | Solver.Unsat -> `Done false (* no candidate X-assignment survives *)
-      | Solver.Sat ->
-        let sigma_x = Solver.model ~universe:num_vars abstraction in
-        let pin =
-          List.map
-            (fun x -> if Interp.mem sigma_x x then Lit.Pos x else Lit.Neg x)
-            xs
-        in
-        (match Solver.solve ~assumptions:pin check_solver with
-        | Solver.Unsat -> `Done true (* forall Y phi holds under sigma_x *)
-        | Solver.Sat ->
-          let sigma_y = Solver.model ~universe:num_vars check_solver in
-          (* Refine: phi must hold for this Y-counterexample. *)
-          add_constraint (substitute_block sigma_y ys matrix);
-          `Refine)
+      try compute_step round
+      with e ->
+        (* Keep the round span balanced if a solve raises mid-round
+           (e.g. Out_of_budget unwinding from the SAT conflict loop). *)
+        if traced then Ddb_obs.Trace.end_ n_round;
+        raise e
     in
     (* Rounds are siblings under the qbf.cegar span, so end before
        recursing rather than nesting round k+1 inside round k. *)

@@ -142,7 +142,7 @@ let find_minimal_such_that ?(extra = []) theory part =
    enumerated by minimize-then-block.  Two distinct ⊆-minimal models are
    incomparable, so blocking the superset cone of each found model never
    removes an unseen minimal model. *)
-let all_minimal ?limit theory =
+let all_minimal ?limit ?truncated theory =
   let part = Partition.minimize_all theory.num_vars in
   let candidate_solver = solver_of theory in
   let minimize_solver = solver_of theory in
@@ -155,10 +155,13 @@ let all_minimal ?limit theory =
     | Solver.Sat ->
       let m = Solver.model ~universe:theory.num_vars candidate_solver in
       let m_min = minimize_with minimize_solver part m in
+      Ddb_budget.Budget.on_model ();
       acc := m_min :: !acc;
       if !budget > 0 then decr budget;
       Solver.add_clause candidate_solver (cone_blocking part m_min)
   done;
+  if !continue && !budget = 0 then
+    Option.iter (fun r -> r := true) truncated;
   List.rev !acc
 
 (* Lazy variant of [all_minimal]: feed ⊆-minimal models of the theory to a

@@ -40,8 +40,11 @@ val find_minimal_such_that :
     oracle call, with cone blocking; this is the Σ₂ᵖ guess-and-check loop of
     the paper's upper bounds. *)
 
-val all_minimal : ?limit:int -> theory -> Interp.t list
-(** All ⊆-minimal models (total partition), via minimize-then-block. *)
+val all_minimal : ?limit:int -> ?truncated:bool ref -> theory -> Interp.t list
+(** All ⊆-minimal models (total partition), via minimize-then-block.  When
+    [limit] cuts the enumeration short, [truncated] (if given) is set to
+    [true] — hitting the limit used to be silent.  Each reported model also
+    charges the ambient {!Ddb_budget.Budget} enumeration cap. *)
 
 val iter_minimal :
   ?extra:Lit.t list list ->

@@ -19,8 +19,13 @@ val instance :
     and the set of ab atoms. *)
 
 val minimal_diagnoses :
-  ?limit:int -> circuit -> observations:observation list -> Interp.t list
-(** Minimal diagnoses as sets of ab atoms (one representative each). *)
+  ?limit:int ->
+  ?truncated:bool ref ->
+  circuit ->
+  observations:observation list ->
+  Interp.t list
+(** Minimal diagnoses as sets of ab atoms (one representative each).  A
+    [limit]-cut enumeration sets [truncated] (if given) to [true]. *)
 
 val certainly_healthy : circuit -> observations:observation list -> int -> bool
 (** CCWA ⊨ ¬ab_g: the gate appears in no minimal diagnosis. *)
