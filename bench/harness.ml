@@ -591,3 +591,92 @@ let parallel_bench ?jobs ?trace_prefix () =
   close_out oc;
   Fmt.pr "  wrote BENCH_parallel.json@.";
   json
+
+(* ---- fastpath: tractable-fragment dispatch vs the generic oracle ----
+
+   The full ± literal sweep plus an existence check, on seeded instances of
+   the two tractable workload families the dispatcher targets (definite-Horn
+   databases for the least-model cells, stratified normal databases for the
+   perfect-model cells), run twice per instance: once on a fast-path engine
+   and once on an ablation engine created with ~fastpath:false (the exact
+   pre-dispatch behaviour).  Answers are asserted identical; the JSON
+   records per-family wall times, the speedup, and the engines' dispatch
+   counters (hits must be positive on these families, by construction). *)
+
+let fastpath_bench () =
+  Fmt.pr "@.=== Fast paths: fragment dispatch vs generic oracle ===@.";
+  let instances = 6 and num_vars = 20 in
+  let families =
+    [
+      ( "definite",
+        List.init instances (fun i ->
+            Random_db.definite ~seed:(200 + i) ~num_vars ()) );
+      ( "stratified_normal",
+        List.init instances (fun i ->
+            Random_db.stratified ~head_max:1 ~seed:(300 + i) ~num_vars ()) );
+    ]
+  in
+  let sweep eng dbs =
+    List.map
+      (fun db ->
+        let sems =
+          List.filter (( <> ) "pdsm") (Registry.applicable_names db)
+        in
+        List.map
+          (fun sem ->
+            let lits =
+              List.concat_map
+                (fun x -> [ Lit.Neg x; Lit.Pos x ])
+                (List.init (Db.num_vars db) Fun.id)
+            in
+            ( sem,
+              Registry.has_model_in eng ~sem db,
+              List.map (fun l -> Registry.infer_literal_in eng ~sem db l) lits
+            ))
+          sems)
+      dbs
+  in
+  let rows =
+    List.map
+      (fun (name, dbs) ->
+        let fast_eng = Engine.create () in
+        let generic_eng = Engine.create ~fastpath:false () in
+        let fast_answers, fast_ms = wall (fun () -> sweep fast_eng dbs) in
+        let generic_answers, generic_ms =
+          wall (fun () -> sweep generic_eng dbs)
+        in
+        if fast_answers <> generic_answers then
+          failwith ("fastpath_bench: answers diverged on " ^ name);
+        let t = Engine.totals fast_eng in
+        let speedup =
+          if fast_ms > 0. then generic_ms /. fast_ms else Float.infinity
+        in
+        Fmt.pr
+          "  %-18s fast: %8.2fms   generic: %8.2fms   (%.1fx)   hits: %d  \
+           misses: %d@."
+          name fast_ms generic_ms speedup t.Engine.fastpath_hits
+          t.Engine.fastpath_misses;
+        if t.Engine.fastpath_hits = 0 then
+          failwith ("fastpath_bench: no fast-path hits on " ^ name);
+        (name, fast_ms, generic_ms, speedup, t))
+      families
+  in
+  let json =
+    Printf.sprintf {|{"meta":%s,"workload":{"instances":%d,"num_vars":%d},"families":[%s]}|}
+      (meta_json ~seed:200 ~jobs:1 ~sems:Registry.names)
+      instances num_vars
+      (String.concat ","
+         (List.map
+            (fun (name, fast_ms, generic_ms, speedup, t) ->
+              Printf.sprintf
+                {|{"name":%S,"wall_ms_fastpath":%.3f,"wall_ms_generic":%.3f,"speedup":%.3f,"fastpath_hits":%d,"fastpath_misses":%d,"classifications":%d,"identical_answers":true}|}
+                name fast_ms generic_ms speedup t.Engine.fastpath_hits
+                t.Engine.fastpath_misses t.Engine.classifications)
+            rows))
+  in
+  let oc = open_out "BENCH_fastpath.json" in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  Fmt.pr "  wrote BENCH_fastpath.json@.";
+  json

@@ -10,6 +10,7 @@
      dune exec bench/main.exe -- extensions  — brave/WFS/CWA-log studies
      dune exec bench/main.exe -- bechamel  — Bechamel micro-benchmarks
      dune exec bench/main.exe -- parallel  — sharded-engine batch sweeps
+     dune exec bench/main.exe -- fastpath  — fragment dispatch vs generic oracle
 
    Flags (after the section name):
      --jobs N       worker domains for the pooled sections (table1, table2,
@@ -29,7 +30,7 @@
 
 let usage () =
   prerr_endline
-    "usage: main.exe [table1|table2|engine|oracle|reductions|ablation|extensions|bechamel|parallel|all] [--jobs N] [--json FILE] [--trace PREFIX]"
+    "usage: main.exe [table1|table2|engine|oracle|reductions|ablation|extensions|bechamel|parallel|fastpath|all] [--jobs N] [--json FILE] [--trace PREFIX]"
 
 let () =
   let mode = ref "all" and jobs = ref None and json_path = ref None in
@@ -83,6 +84,7 @@ let () =
   section "extensions" Extensions_bench.run;
   section "bechamel" Bechamel_suite.run;
   json_section "parallel" (Harness.parallel_bench ?jobs ?trace_prefix);
+  json_section "fastpath" Harness.fastpath_bench;
   (match !json_path with
   | None -> ()
   | Some path ->

@@ -115,13 +115,16 @@ let budgeted_run bopts f =
       (match retried with
       | Some r -> r
       | None ->
+        (* Count the degradation in both modes: under [`Fail] the hard
+           error takes the exit code, but the exit hook still reports the
+           degraded cell on stderr. *)
+        incr degraded_cells;
         if bopts.on_exhaust = `Fail then
           Error
             (`Msg
               (Printf.sprintf "budget exhausted (%s)"
                  (Budget.string_of_reason reason)))
         else begin
-          incr degraded_cells;
           Fmt.pr "unknown (%s)@." (Budget.string_of_reason reason);
           Ok ()
         end)
@@ -245,6 +248,13 @@ let classify db =
       | None -> "DNDB (disjunctive normal database, unstratified)"
   in
   Fmt.pr "class:              %s@." kind;
+  (* The fast-path dispatcher's view: the syntactic fragments that decide
+     which (semantics, problem) cells route to polynomial algorithms. *)
+  let fr = Ddb_frag.Frag.classify db in
+  Fmt.pr "fragments:          %s@."
+    (match Ddb_frag.Frag.names fr with
+    | [] -> "(none)"
+    | ns -> String.concat ", " ns);
   (match Stratify.compute db with
   | Some s ->
     Fmt.pr "stratification:@.";
@@ -267,14 +277,34 @@ let models db (sem : Semantics.t) limit brute =
   else begin
     let vocab = Db.vocab db in
     let all = sem.Semantics.reference_models db in
-    let all = match limit with Some k -> List.filteri (fun i _ -> i < k) all | None -> all in
-    Fmt.pr "%d model(s) under %s:@." (List.length all) sem.Semantics.name;
-    List.iter (fun m -> Fmt.pr "  %a@." (Interp.pp ~vocab) m) all;
+    let total = List.length all in
+    let shown =
+      match limit with
+      | Some k when k < total -> List.filteri (fun i _ -> i < k) all
+      | _ -> all
+    in
+    let truncated = List.length shown < total in
+    (* The count reported is the *true* total; a --limit cut used to be
+       silent (the listing looked complete). *)
+    Fmt.pr "%d model(s) under %s:@." total sem.Semantics.name;
+    List.iter (fun m -> Fmt.pr "  %a@." (Interp.pp ~vocab) m) shown;
+    if truncated then
+      Fmt.pr "  ... (truncated by --limit: %d of %d shown)@."
+        (List.length shown) total;
     Ok ()
   end
 
 let brute_arg =
   Arg.(value & flag & info [ "brute" ] ~doc:"Allow large enumerations.")
+
+let no_fastpath_flag =
+  Arg.(
+    value & flag
+    & info [ "no-fastpath" ]
+        ~doc:
+          "Disable the tractable-fragment fast paths (ablation: every \
+           query runs the generic oracle procedure, as before the \
+           dispatcher existed).")
 
 (* --- query --- *)
 
@@ -342,8 +372,8 @@ let pp_witness vocab ppf = function
   | Brave.Two_valued m -> Interp.pp ~vocab ppf m
   | Brave.Three_valued_witness i -> Three_valued.pp ~vocab ppf i
 
-let query db (sem : Semantics.t) query_str brave witness ~minimize ~fixed
-    ~vary =
+let query db (sem : Semantics.t) query_str brave witness ~no_fastpath
+    ~minimize ~fixed ~vary =
   Result.bind (check_applicable sem db) @@ fun () ->
   let vocab = Db.vocab db in
   match Parse.formula vocab query_str with
@@ -399,7 +429,12 @@ let query db (sem : Semantics.t) query_str brave witness ~minimize ~fixed
         Ok ()
     end
     else begin
-      let answer = sem.Semantics.infer_formula db f in
+      (* Plain cautious inference runs on an engine so the fragment
+         fast paths apply (--no-fastpath is the generic-oracle ablation). *)
+      let eng = Ddb_engine.Engine.create ~fastpath:(not no_fastpath) () in
+      let answer =
+        Registry.infer_formula_in eng ~sem:sem.Semantics.name db f
+      in
       Fmt.pr "%s(DB) %s %a@." sem.Semantics.name
         (if answer then "|=" else "|/=")
         (Formula.pp ~vocab) f;
@@ -438,10 +473,13 @@ let witness_flag =
 
 (* --- exists --- *)
 
-let exists db (sem : Semantics.t) =
+let exists db (sem : Semantics.t) ~no_fastpath =
   Result.bind (check_applicable sem db) @@ fun () ->
+  let eng = Ddb_engine.Engine.create ~fastpath:(not no_fastpath) () in
   Fmt.pr "%s(DB) %s@." sem.Semantics.name
-    (if sem.Semantics.has_model db then "has a model" else "has no model");
+    (if Registry.has_model_in eng ~sem:sem.Semantics.name db then
+       "has a model"
+     else "has no model");
   Ok ()
 
 (* --- count --- *)
@@ -535,14 +573,15 @@ let select_sems db sem_name =
 let is_unknown = function Budget.Unknown _ -> true | Budget.True | Budget.False -> false
 
 (* Close out a budgeted sweep: --on-exhaust fail turns any degraded cell
-   into a hard error; otherwise the cells count toward exit code 7. *)
+   into a hard error; otherwise the cells count toward exit code 7.  The
+   degraded count is recorded in *both* branches — the hard error must not
+   swallow the how-many-cells-degraded information (it is reported on
+   stderr at exit even when a nonzero code takes precedence over 7). *)
 let finish_sweep3 bopts unknowns k =
+  degraded_cells := !degraded_cells + unknowns;
   if bopts.on_exhaust = `Fail && unknowns > 0 then
     Error (`Msg (Printf.sprintf "budget exhausted on %d cell(s)" unknowns))
-  else begin
-    degraded_cells := !degraded_cells + unknowns;
-    k ()
-  end
+  else k ()
 
 (* Run the closed-world query workload (two passes of a full ± literal
    sweep plus an existence check) across a pool of worker domains, one
@@ -550,9 +589,11 @@ let finish_sweep3 bopts unknowns k =
    stats record as JSON — same schema as a single engine's (the "unknowns"
    counters are zero on unbudgeted runs).  --no-cache replays the workload
    on cache-disabled shards (the direct fresh-solver path) for ablation. *)
-let stats db sem_name no_cache jobs ~pinned bopts =
+let stats db sem_name no_cache no_fastpath jobs ~pinned bopts =
   Result.bind (select_sems db sem_name) @@ fun sems ->
-  Batch.with_batch ?jobs ~cache:(not no_cache) ~pinned @@ fun b ->
+  Batch.with_batch ?jobs ~cache:(not no_cache) ~fastpath:(not no_fastpath)
+    ~pinned
+  @@ fun b ->
   if Budget.is_unlimited bopts.limits then begin
     for _pass = 1 to 2 do
       ignore (Batch.literal_sweep b ~sems db);
@@ -583,9 +624,11 @@ let stats db sem_name no_cache jobs ~pinned bopts =
    order is fixed (semantics in registry order, ¬x before x, atoms
    ascending) and independent of --jobs.  Under a budget every cell runs on
    its own token and degraded cells print |? instead of |=/|/=. *)
-let sweep db sem_name no_cache jobs ~pinned bopts =
+let sweep db sem_name no_cache no_fastpath jobs ~pinned bopts =
   Result.bind (select_sems db sem_name) @@ fun sems ->
-  Batch.with_batch ?jobs ~cache:(not no_cache) ~pinned @@ fun b ->
+  Batch.with_batch ?jobs ~cache:(not no_cache) ~fastpath:(not no_fastpath)
+    ~pinned
+  @@ fun b ->
   let vocab = Db.vocab db in
   if Budget.is_unlimited bopts.limits then begin
     List.iter
@@ -646,9 +689,10 @@ let no_cache_flag =
    per-oracle-kind latency table (merged across workers).  Latencies are in
    wall µs, or in deterministic probe ticks while --trace (logical clock)
    is active — the unit is printed in the header. *)
-let profile db sem_name no_cache jobs bopts =
+let profile db sem_name no_cache no_fastpath jobs bopts =
   Result.bind (select_sems db sem_name) @@ fun sems ->
-  Batch.with_batch ?jobs ~cache:(not no_cache) ~pinned:true ~profile:true
+  Batch.with_batch ?jobs ~cache:(not no_cache) ~fastpath:(not no_fastpath)
+    ~pinned:true ~profile:true
   @@ fun b ->
   let unknowns = ref 0 in
   let retry = bopts.on_exhaust = `Retry in
@@ -761,14 +805,16 @@ let query_cmd =
     Term.(
       ret
         (const
-           (fun trace clock bopts db sem q brave witness minimize fixed vary ->
+           (fun trace clock bopts db sem q brave witness no_fastpath minimize
+                fixed vary ->
              handle
                (traced trace clock (fun () ->
                     budgeted_run bopts (fun () ->
-                        query db sem q brave witness ~minimize ~fixed ~vary))))
+                        query db sem q brave witness ~no_fastpath ~minimize
+                          ~fixed ~vary))))
         $ trace_arg $ trace_clock_arg $ budget_term $ db_arg $ semantics_arg
-        $ query_str_arg $ brave_flag $ witness_flag $ minimize_arg $ fixed_arg
-        $ vary_arg))
+        $ query_str_arg $ brave_flag $ witness_flag $ no_fastpath_flag
+        $ minimize_arg $ fixed_arg $ vary_arg))
 
 let exists_cmd =
   Cmd.v
@@ -776,11 +822,12 @@ let exists_cmd =
        ~doc:"Decide whether SEM(DB) has a model")
     Term.(
       ret
-        (const (fun trace clock bopts db sem ->
+        (const (fun trace clock bopts db sem no_fastpath ->
              handle
                (traced trace clock (fun () ->
-                    budgeted_run bopts (fun () -> exists db sem))))
-        $ trace_arg $ trace_clock_arg $ budget_term $ db_arg $ semantics_arg))
+                    budgeted_run bopts (fun () -> exists db sem ~no_fastpath))))
+        $ trace_arg $ trace_clock_arg $ budget_term $ db_arg $ semantics_arg
+        $ no_fastpath_flag))
 
 let ground_cmd =
   Cmd.v
@@ -838,12 +885,13 @@ let stats_cmd =
           instrumentation record as JSON")
     Term.(
       ret
-        (const (fun trace clock bopts db sem no_cache jobs ->
+        (const (fun trace clock bopts db sem no_cache no_fastpath jobs ->
              handle
                (traced trace clock (fun () ->
-                    stats db sem no_cache jobs ~pinned:(trace <> None) bopts)))
+                    stats db sem no_cache no_fastpath jobs
+                      ~pinned:(trace <> None) bopts)))
         $ trace_arg $ trace_clock_arg $ budget_term $ db_arg $ stats_sem_arg
-        $ no_cache_flag $ jobs_arg))
+        $ no_cache_flag $ no_fastpath_flag $ jobs_arg))
 
 let sweep_cmd =
   Cmd.v
@@ -853,12 +901,13 @@ let sweep_cmd =
           fanned out over --jobs worker domains")
     Term.(
       ret
-        (const (fun trace clock bopts db sem no_cache jobs ->
+        (const (fun trace clock bopts db sem no_cache no_fastpath jobs ->
              handle
                (traced trace clock (fun () ->
-                    sweep db sem no_cache jobs ~pinned:(trace <> None) bopts)))
+                    sweep db sem no_cache no_fastpath jobs
+                      ~pinned:(trace <> None) bopts)))
         $ trace_arg $ trace_clock_arg $ budget_term $ db_arg $ stats_sem_arg
-        $ no_cache_flag $ jobs_arg))
+        $ no_cache_flag $ no_fastpath_flag $ jobs_arg))
 
 let profile_cmd =
   Cmd.v
@@ -870,12 +919,12 @@ let profile_cmd =
           deterministic logical ticks; without it, wall microseconds")
     Term.(
       ret
-        (const (fun trace clock bopts db sem no_cache jobs ->
+        (const (fun trace clock bopts db sem no_cache no_fastpath jobs ->
              handle
                (traced trace clock (fun () ->
-                    profile db sem no_cache jobs bopts)))
+                    profile db sem no_cache no_fastpath jobs bopts)))
         $ trace_arg $ trace_clock_arg $ budget_term $ db_arg $ stats_sem_arg
-        $ no_cache_flag $ jobs_arg))
+        $ no_cache_flag $ no_fastpath_flag $ jobs_arg))
 
 let semantics_cmd =
   Cmd.v (Cmd.info "semantics" ~doc:"List the available semantics")
@@ -900,7 +949,11 @@ let main_cmd =
     ]
 
 (* A clean run that nevertheless degraded some answer exits 7, so callers
-   can distinguish "all definite" from "completed but clipped". *)
+   can distinguish "all definite" from "completed but clipped".  A hard
+   error keeps its own exit code (it outranks 7), but the degraded-cell
+   count is still reported on stderr so the information is never lost. *)
 let () =
   let code = Cmd.eval main_cmd in
+  if !degraded_cells > 0 then
+    Fmt.epr "ddbtool: %d answer(s) degraded to unknown@." !degraded_cells;
   exit (if code = 0 && !degraded_cells > 0 then exit_degraded else code)

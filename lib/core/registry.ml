@@ -27,21 +27,28 @@ let all : Semantics.t list =
     Pdsm.semantics;
   ]
 
+(* Engine-routed records additionally go through the fragment fast-path
+   dispatcher: tractable (semantics, problem, fragment) cells are answered
+   by the polynomial algorithms of [Ddb_frag], everything else falls back
+   to the generic oracle procedures below.  [Engine.set_fastpath] (or
+   [create ~fastpath:false]) turns the dispatcher off, which restores the
+   pre-dispatch behaviour exactly. *)
 let all_in eng : Semantics.t list =
-  [
-    Cwa.semantics_in eng;
-    Gcwa.semantics_in eng;
-    Ddr.semantics_in eng;
-    Pws.semantics_in eng;
-    Egcwa.semantics_in eng;
-    Ccwa.semantics_in eng;
-    Ecwa.semantics_in eng;
-    Circ.semantics_in eng;
-    Icwa.semantics_in eng;
-    Perf.semantics_in eng;
-    Dsm.semantics_in eng;
-    Pdsm.semantics_in eng;
-  ]
+  List.map (Fastpath.wrap eng)
+    [
+      Cwa.semantics_in eng;
+      Gcwa.semantics_in eng;
+      Ddr.semantics_in eng;
+      Pws.semantics_in eng;
+      Egcwa.semantics_in eng;
+      Ccwa.semantics_in eng;
+      Ecwa.semantics_in eng;
+      Circ.semantics_in eng;
+      Icwa.semantics_in eng;
+      Perf.semantics_in eng;
+      Dsm.semantics_in eng;
+      Pdsm.semantics_in eng;
+    ]
 
 let find_among sems name =
   List.find_opt (fun (s : Semantics.t) -> String.equal s.Semantics.name name) sems

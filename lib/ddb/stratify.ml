@@ -111,17 +111,25 @@ let valid_stratification db strata =
        (Db.clauses db)
 
 (* The clauses of stratum i: those whose heads live in S_i.  Integrity
-   clauses are attached to the deepest stratum mentioned in their body (they
-   must wait until all their atoms are defined). *)
+   clauses are attached to the first stratum where their whole body is
+   settled: positive atoms are defined at their own level, but a *negative*
+   atom is only safe to test once its stratum is closed — one level later,
+   mirroring the [weight = 1] edge of [edges_of_db].  (Using the negative
+   atom's own level evaluated ¬x before S_{level(x)}'s clauses could still
+   derive x.)  Clamped into range for negative atoms in the top stratum. *)
 let split db t =
   let level_of_clause c =
     match Clause.head c with
     | h :: _ -> t.levels.(h)
     | [] ->
+      let top = num_strata t - 1 in
+      let pos =
+        List.fold_left (fun acc x -> max acc t.levels.(x)) 0 (Clause.body_pos c)
+      in
       List.fold_left
-        (fun acc x -> max acc t.levels.(x))
-        0
-        (Clause.body_pos c @ Clause.body_neg c)
+        (fun acc x -> max acc (min (t.levels.(x) + 1) top))
+        pos
+        (Clause.body_neg c)
   in
   List.init (num_strata t) (fun i ->
       List.filter (fun c -> level_of_clause c = i) (Db.clauses db))

@@ -42,6 +42,9 @@ type counters = {
   mutable conflicts : int;
   mutable decisions : int;
   mutable propagations : int;
+  mutable fastpath_hits : int;
+  mutable fastpath_misses : int;
+  mutable classifications : int;
   mutable unknowns : int;
   mutable time_ms : float;
 }
@@ -56,6 +59,9 @@ let fresh_counters () =
     conflicts = 0;
     decisions = 0;
     propagations = 0;
+    fastpath_hits = 0;
+    fastpath_misses = 0;
+    classifications = 0;
     unknowns = 0;
     time_ms = 0.;
   }
@@ -119,6 +125,10 @@ let qkey ?(negs = []) ?part ?form ?(arg = -1) theory op =
 
 type t = {
   mutable cache : bool;
+  (* Fragment fast-path dispatch gate: with it off, the dispatch layer in
+     lib/core routes every query through the generic oracle path — the
+     ablation baseline of BENCH_fastpath.json and `ddbtool --no-fastpath`. *)
+  mutable fastpath : bool;
   (* Latency histograms + hit/miss counters per oracle kind.  [profile]
      gates their upkeep exactly like the trace flag gates spans: with both
      off every op body pays one boolean load. *)
@@ -133,11 +143,15 @@ type t = {
   bools : (qkey, bool) Hashtbl.t;
   interps : (qkey, Interp.t) Hashtbl.t;
   model_lists : (qkey, Interp.t list) Hashtbl.t;
+  (* One fragment classification (plus its lazily computed canonical
+     objects) per hash-consed theory. *)
+  frags : (int, Ddb_frag.Frag.info) Hashtbl.t;
 }
 
-let create ?(cache = true) ?(profile = false) () =
+let create ?(cache = true) ?(fastpath = true) ?(profile = false) () =
   {
     cache;
+    fastpath;
     profile;
     metrics = Ddb_obs.Metrics.create ();
     total = fresh_counters ();
@@ -149,12 +163,15 @@ let create ?(cache = true) ?(profile = false) () =
     bools = Hashtbl.create 256;
     interps = Hashtbl.create 64;
     model_lists = Hashtbl.create 64;
+    frags = Hashtbl.create 64;
   }
 
 let default = create ()
 
 let set_cache t flag = t.cache <- flag
 let cache_enabled t = t.cache
+let set_fastpath t flag = t.fastpath <- flag
+let fastpath_enabled t = t.fastpath
 let set_profiling t flag = t.profile <- flag
 let profiling t = t.profile
 let metrics t = t.metrics
@@ -173,6 +190,7 @@ let reset t =
   Hashtbl.reset t.bools;
   Hashtbl.reset t.interps;
   Hashtbl.reset t.model_lists;
+  Hashtbl.reset t.frags;
   let c = t.total in
   c.oracle_calls <- 0;
   c.cache_hits <- 0;
@@ -182,6 +200,9 @@ let reset t =
   c.conflicts <- 0;
   c.decisions <- 0;
   c.propagations <- 0;
+  c.fastpath_hits <- 0;
+  c.fastpath_misses <- 0;
+  c.classifications <- 0;
   c.unknowns <- 0;
   c.time_ms <- 0.
 
@@ -535,6 +556,70 @@ let cached_bool ?part ?formula ?(arg = -1) t ~sem ~op db compute =
       end)
 
 (* ------------------------------------------------------------------ *)
+(* Fragment classification and polynomial fast paths                   *)
+
+(* One syntactic classification per hash-consed theory (cached engines);
+   direct engines recompute per query, mirroring their fresh-solver
+   discipline — and keeping their hash-cons table (the "theories" stat)
+   empty.  Classification is pure syntax, never an oracle call: it bumps
+   only the [classifications] counter. *)
+let classify t db =
+  let compute () =
+    bump (fun c -> c.classifications <- c.classifications + 1) t;
+    Ddb_frag.Frag.info db
+  in
+  if not t.cache then compute ()
+  else begin
+    let key = theory_key t db in
+    match Hashtbl.find_opt t.frags key with
+    | Some info -> info
+    | None ->
+      let info = compute () in
+      Hashtbl.add t.frags key info;
+      info
+  end
+
+(* A query answered by a dedicated polynomial algorithm.  Not an oracle
+   call (the oracle machinery never runs), but still one unit of logical
+   work: the budget probe fires exactly like [tick]'s, so wall deadlines,
+   logical caps and the deterministic fault injector all see fast-path
+   cells.  Under tracing the evaluation is a [fastpath.<op>] span; while
+   profiling it feeds the [fastpath.hit] counter and a latency
+   histogram. *)
+let fastpath_hit t ~op db f =
+  bump (fun c -> c.fastpath_hits <- c.fastpath_hits + 1) t;
+  Ddb_budget.Budget.on_oracle_op ();
+  if not (t.profile || Ddb_obs.Trace.enabled ()) then f ()
+  else begin
+    let open Ddb_obs.Trace in
+    let traced = enabled () in
+    let span = name ("fastpath." ^ op) in
+    (if traced then
+       let theory = if t.cache then theory_key t db else -1 in
+       begin_args span
+         (if theory >= 0 then [ (n_theory, Int theory) ] else []));
+    let t0 = metric_now () in
+    let finished = ref false in
+    Fun.protect
+      ~finally:(fun () -> if traced && not !finished then end_ span)
+      (fun () ->
+        let r = f () in
+        finished := true;
+        if t.profile then begin
+          Ddb_obs.Metrics.observe t.metrics ("fastpath." ^ op)
+            (metric_now () -. t0);
+          Ddb_obs.Metrics.incr_counter t.metrics "fastpath.hit"
+        end;
+        if traced then end_ span;
+        r)
+  end
+
+(* The dispatch layer fell through to the generic oracle path. *)
+let fastpath_miss t =
+  bump (fun c -> c.fastpath_misses <- c.fastpath_misses + 1) t;
+  if t.profile then Ddb_obs.Metrics.incr_counter t.metrics "fastpath.miss"
+
+(* ------------------------------------------------------------------ *)
 (* Budgeted (three-valued) evaluation                                  *)
 
 type answer = Ddb_budget.Budget.answer =
@@ -586,6 +671,9 @@ type stats = {
   sat_conflicts : int;
   sat_decisions : int;
   sat_propagations : int;
+  fastpath_hits : int;
+  fastpath_misses : int;
+  classifications : int;
   unknowns : int;
   wall_ms : float;
 }
@@ -601,6 +689,9 @@ let stats_of_counters scope (c : counters) =
     sat_conflicts = c.conflicts;
     sat_decisions = c.decisions;
     sat_propagations = c.propagations;
+    fastpath_hits = c.fastpath_hits;
+    fastpath_misses = c.fastpath_misses;
+    classifications = c.classifications;
     unknowns = c.unknowns;
     wall_ms = c.time_ms;
   }
@@ -629,6 +720,9 @@ let add_stats ~scope a b =
     sat_conflicts = a.sat_conflicts + b.sat_conflicts;
     sat_decisions = a.sat_decisions + b.sat_decisions;
     sat_propagations = a.sat_propagations + b.sat_propagations;
+    fastpath_hits = a.fastpath_hits + b.fastpath_hits;
+    fastpath_misses = a.fastpath_misses + b.fastpath_misses;
+    classifications = a.classifications + b.classifications;
     unknowns = a.unknowns + b.unknowns;
     wall_ms = a.wall_ms +. b.wall_ms;
   }
@@ -644,6 +738,9 @@ let zero_stats scope =
     sat_conflicts = 0;
     sat_decisions = 0;
     sat_propagations = 0;
+    fastpath_hits = 0;
+    fastpath_misses = 0;
+    classifications = 0;
     unknowns = 0;
     wall_ms = 0.;
   }
@@ -672,19 +769,19 @@ let merge_per_scope engines =
 let pp_stats ppf s =
   Fmt.pf ppf
     "%s: oracle=%d hits=%d misses=%d sat=%d sigma2=%d conflicts=%d \
-     decisions=%d props=%d unknowns=%d %.2fms"
+     decisions=%d props=%d fastpath=%d/%d classified=%d unknowns=%d %.2fms"
     s.scope s.oracle_calls s.cache_hits s.cache_misses s.sat_solve_calls
     s.sigma2_queries s.sat_conflicts s.sat_decisions s.sat_propagations
-    s.unknowns s.wall_ms
+    s.fastpath_hits s.fastpath_misses s.classifications s.unknowns s.wall_ms
 
 (* JSON emission (hand-rolled; schema documented in EXPERIMENTS.md). *)
 
 let json_of_stats s =
   Printf.sprintf
-    {|{"oracle_calls":%d,"cache_hits":%d,"cache_misses":%d,"sat_solve_calls":%d,"sigma2_queries":%d,"sat_conflicts":%d,"sat_decisions":%d,"sat_propagations":%d,"unknowns":%d,"wall_ms":%.3f}|}
+    {|{"oracle_calls":%d,"cache_hits":%d,"cache_misses":%d,"sat_solve_calls":%d,"sigma2_queries":%d,"sat_conflicts":%d,"sat_decisions":%d,"sat_propagations":%d,"fastpath_hits":%d,"fastpath_misses":%d,"classifications":%d,"unknowns":%d,"wall_ms":%.3f}|}
     s.oracle_calls s.cache_hits s.cache_misses s.sat_solve_calls
     s.sigma2_queries s.sat_conflicts s.sat_decisions s.sat_propagations
-    s.unknowns s.wall_ms
+    s.fastpath_hits s.fastpath_misses s.classifications s.unknowns s.wall_ms
 
 let json_escape s =
   let buf = Buffer.create (String.length s + 2) in

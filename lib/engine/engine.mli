@@ -18,11 +18,14 @@ open Ddb_db
 
 type t
 
-val create : ?cache:bool -> ?profile:bool -> unit -> t
-(** A fresh engine; [cache] defaults to [true].  [profile] (default
-    [false]) turns on per-oracle-kind latency histograms and hit/miss
-    counters in the engine's {!Ddb_obs.Metrics} registry; with it off —
-    and no trace active — every oracle op pays a single boolean test. *)
+val create : ?cache:bool -> ?fastpath:bool -> ?profile:bool -> unit -> t
+(** A fresh engine; [cache] defaults to [true].  [fastpath] (default
+    [true]) gates the fragment fast-path dispatch layer of
+    [Ddb_core.Fastpath]: with it off every query runs the generic oracle
+    path — the ablation baseline.  [profile] (default [false]) turns on
+    per-oracle-kind latency histograms and hit/miss counters in the
+    engine's {!Ddb_obs.Metrics} registry; with it off — and no trace
+    active — every oracle op pays a single boolean test. *)
 
 val default : t
 (** The process-wide engine the convenience wrappers in [lib/core] use. *)
@@ -32,6 +35,11 @@ val set_cache : t -> bool -> unit
     consulted while the flag is off). *)
 
 val cache_enabled : t -> bool
+
+val set_fastpath : t -> bool -> unit
+(** Flip the fragment fast-path gate (see {!create}). *)
+
+val fastpath_enabled : t -> bool
 
 val set_profiling : t -> bool -> unit
 val profiling : t -> bool
@@ -102,6 +110,33 @@ val cached_bool :
     [(sem, op, part, formula, arg)], instruments, and delegates to the
     thunk on a miss (or always, for direct engines). *)
 
+(** {1 Fragment classification and fast paths}
+
+    The syntactic fragment classifier ({!Ddb_frag.Frag}) runs once per
+    hash-consed theory on cached engines (per query on direct engines,
+    which keep no tables) and its result — including the lazily computed
+    canonical models — is shared by every subsequent query on that theory.
+    The dispatch layer in [Ddb_core.Fastpath] consults it to route
+    tractable (semantics, problem, fragment) cells to polynomial
+    algorithms. *)
+
+val classify : t -> Db.t -> Ddb_frag.Frag.info
+(** Cached classification of the database's theory.  Bumps the
+    [classifications] counter only when a classification actually runs. *)
+
+val fastpath_hit :
+  t -> op:string -> Db.t -> (unit -> 'a) -> 'a
+(** Run a polynomial fast-path evaluation: counts one [fastpath_hits],
+    fires one budget probe (like every oracle op), and — under tracing or
+    profiling — emits a [fastpath.<op>] span / latency observation and the
+    [fastpath.hit] metrics counter.  Call inside {!scoped} so the hit is
+    attributed to its semantics. *)
+
+val fastpath_miss : t -> unit
+(** Record that the dispatch layer fell through to the generic oracle
+    path ([fastpath_misses] counter; [fastpath.miss] metric while
+    profiling). *)
+
 (** {1 Budgeted (three-valued) evaluation} *)
 
 type answer = Ddb_budget.Budget.answer =
@@ -161,6 +196,9 @@ type stats = {
   sat_conflicts : int;
   sat_decisions : int;
   sat_propagations : int;
+  fastpath_hits : int;  (** queries answered by a polynomial fast path *)
+  fastpath_misses : int;  (** dispatch fall-throughs to the generic path *)
+  classifications : int;  (** fragment classifications actually computed *)
   unknowns : int;  (** budgeted evaluations that degraded to [Unknown] *)
   wall_ms : float;
 }

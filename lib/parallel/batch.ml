@@ -24,10 +24,12 @@ type t = {
   pinned : bool;
 }
 
-let create ?jobs ?(cache = true) ?(pinned = false) ?(profile = false) () =
+let create ?jobs ?(cache = true) ?(fastpath = true) ?(pinned = false)
+    ?(profile = false) () =
   let pool = Pool.create ?jobs () in
   let engines =
-    Array.init (Pool.jobs pool) (fun _ -> Engine.create ~cache ~profile ())
+    Array.init (Pool.jobs pool) (fun _ ->
+        Engine.create ~cache ~fastpath ~profile ())
   in
   let sems =
     Array.map
@@ -43,8 +45,8 @@ let jobs t = Pool.jobs t.pool
 let engines t = Array.to_list t.engines
 let shutdown t = Pool.shutdown t.pool
 
-let with_batch ?jobs ?cache ?pinned ?profile f =
-  let t = create ?jobs ?cache ?pinned ?profile () in
+let with_batch ?jobs ?cache ?fastpath ?pinned ?profile f =
+  let t = create ?jobs ?cache ?fastpath ?pinned ?profile () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
 (* Every sweep routes through this: chunked (dynamic placement, fastest)

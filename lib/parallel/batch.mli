@@ -20,9 +20,18 @@ open Ddb_db
 type t
 
 val create :
-  ?jobs:int -> ?cache:bool -> ?pinned:bool -> ?profile:bool -> unit -> t
+  ?jobs:int ->
+  ?cache:bool ->
+  ?fastpath:bool ->
+  ?pinned:bool ->
+  ?profile:bool ->
+  unit ->
+  t
 (** [jobs] defaults to {!Pool.recommended_jobs}; [cache] (default [true])
     is the engines' memoization flag, as in {!Ddb_engine.Engine.create}.
+    [fastpath] (default [true]) gates the shards' fragment fast-path
+    dispatch, as in {!Ddb_engine.Engine.create} — pass [false] for the
+    generic-oracle ablation baseline.
     [pinned] (default [false]) routes every sweep through
     {!Parallel.map_pinned_in} — item [k] on worker [k mod jobs] — so that
     per-worker trace streams and per-shard metrics are reproducible; turn
@@ -36,7 +45,13 @@ val engines : t -> Ddb_engine.Engine.t list
 val shutdown : t -> unit
 
 val with_batch :
-  ?jobs:int -> ?cache:bool -> ?pinned:bool -> ?profile:bool -> (t -> 'a) -> 'a
+  ?jobs:int ->
+  ?cache:bool ->
+  ?fastpath:bool ->
+  ?pinned:bool ->
+  ?profile:bool ->
+  (t -> 'a) ->
+  'a
 
 (** {1 Sweeps}
 

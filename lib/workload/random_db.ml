@@ -64,27 +64,51 @@ let normal ~seed ~num_vars =
     ~profile:{ default_profile with neg_max = 1; integrity_ratio = 0.1 }
     ~seed ~num_vars ()
 
+(* Definite-Horn family (the Table 1/2 least-model fast-path cells):
+   single-headed positive rules plus a sprinkle of positive integrity
+   clauses. *)
+let definite ?(integrity_ratio = 0.1) ~seed ~num_vars () =
+  let rng = Rng.create seed in
+  let atom () = Rng.int rng num_vars in
+  let clause () =
+    if Rng.float rng < integrity_ratio then
+      Clause.make ~head:[]
+        ~pos:(List.init (1 + Rng.int rng 2) (fun _ -> atom ()))
+        ~neg:[]
+    else
+      Clause.make ~head:[ atom () ]
+        ~pos:(List.init (Rng.int rng 3) (fun _ -> atom ()))
+        ~neg:[]
+  in
+  let vocab = Vocab.of_size num_vars in
+  Db.make ~vocab (List.init (2 * num_vars) (fun _ -> clause ()))
+
 (* Stratified family (for ICWA / PERF): atoms are spread over [layers]
-   layers and negation only reaches strictly lower layers. *)
-let stratified ?(layers = 3) ~seed ~num_vars () =
+   layers and negation only reaches strictly lower layers.  [head_max = 1]
+   keeps the family normal (the perfect-model fast-path fragment). *)
+let stratified ?(layers = 3) ?(head_max = 2) ~seed ~num_vars () =
   let rng = Rng.create seed in
   let layer_of = Array.init num_vars (fun _ -> Rng.int rng layers) in
+  (* Per-layer pools as arrays, built once: every clause used to refilter
+     the whole universe and [Rng.pick] a list (O(num_vars) per draw). *)
   let all = List.init num_vars Fun.id in
-  let at_most l = List.filter (fun x -> layer_of.(x) <= l) all in
-  let below l = List.filter (fun x -> layer_of.(x) < l) all in
-  let exactly l = List.filter (fun x -> layer_of.(x) = l) all in
+  let pool p = Array.of_list (List.filter p all) in
+  let at_most = Array.init layers (fun l -> pool (fun x -> layer_of.(x) <= l)) in
+  let below = Array.init layers (fun l -> pool (fun x -> layer_of.(x) < l)) in
+  let exactly = Array.init layers (fun l -> pool (fun x -> layer_of.(x) = l)) in
   let rec make_clause () =
     let l = Rng.int rng layers in
-    match exactly l with
-    | [] -> make_clause ()
-    | heads ->
-      let head = List.init (1 + Rng.int rng 2) (fun _ -> Rng.pick rng heads) in
-      let pos_pool = at_most l in
-      let pos = List.init (Rng.int rng 3) (fun _ -> Rng.pick rng pos_pool) in
+    if Array.length exactly.(l) = 0 then make_clause ()
+    else
+      let head =
+        List.init
+          (1 + Rng.int rng head_max)
+          (fun _ -> Rng.pick_arr rng exactly.(l))
+      in
+      let pos = List.init (Rng.int rng 3) (fun _ -> Rng.pick_arr rng at_most.(l)) in
       let neg =
-        match below l with
-        | [] -> []
-        | pool -> List.init (Rng.int rng 2) (fun _ -> Rng.pick rng pool)
+        if Array.length below.(l) = 0 then []
+        else List.init (Rng.int rng 2) (fun _ -> Rng.pick_arr rng below.(l))
       in
       Clause.make ~head ~pos ~neg
   in

@@ -16,11 +16,21 @@ let next_int64 t =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
-(* Uniform in [0, bound). *)
+(* Uniform in [0, bound), by rejection sampling: [r mod bound] alone is
+   biased towards small residues whenever bound does not divide the draw
+   range, so draws past the largest exact multiple of [bound] are retried.
+   61-bit draws keep [range] a positive OCaml int on 64-bit systems.
+   NOTE: this changed the stream relative to the original (biased) 62-bit
+   [r mod bound] — see the PRNG note in EXPERIMENTS.md. *)
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
-  let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
-  r mod bound
+  let range = 1 lsl 61 in
+  let lim = range - (range mod bound) in
+  let rec draw () =
+    let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 3) in
+    if r >= lim then draw () else r mod bound
+  in
+  draw ()
 
 let bool t = Int64.logand (next_int64 t) 1L = 1L
 
@@ -29,10 +39,17 @@ let float t =
   let bits = Int64.to_int (Int64.shift_right_logical (next_int64 t) 11) in
   float_of_int bits /. 9007199254740992.0
 
+(* O(1) per draw — the right shape for hot loops drawing many times from
+   the same pool (see Random_db.stratified). *)
+let pick_arr t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick_arr: empty array";
+  a.(int t (Array.length a))
+
 let pick t xs =
+  (* One O(n) conversion instead of List.length + List.nth's two walks. *)
   match xs with
   | [] -> invalid_arg "Rng.pick: empty list"
-  | _ -> List.nth xs (int t (List.length xs))
+  | _ -> pick_arr t (Array.of_list xs)
 
 (* Independent child stream (for parallel families from one master seed). *)
 let split t = create (Int64.to_int (next_int64 t))

@@ -5,12 +5,19 @@ type t
 
 val create : int -> t
 val int : t -> int -> int
-(** Uniform in [0, bound).  @raise Invalid_argument on bound ≤ 0. *)
+(** Uniform in [0, bound), bias-free (rejection sampling — never
+    [r mod bound] alone).  @raise Invalid_argument on bound ≤ 0. *)
 
 val bool : t -> bool
 val float : t -> float
 (** Uniform in [0, 1). *)
 
 val pick : t -> 'a list -> 'a
+(** Uniform element; O(n) per call.  @raise Invalid_argument on []. *)
+
+val pick_arr : t -> 'a array -> 'a
+(** Uniform element in O(1) — prefer this when drawing repeatedly from the
+    same pool.  @raise Invalid_argument on [||]. *)
+
 val split : t -> t
 (** Independent child stream. *)

@@ -1,0 +1,63 @@
+#!/bin/sh
+# CLI regression tests for ddbtool:
+#   - `models --limit` prints the true total and an explicit truncation
+#     marker instead of silently passing a clipped listing off as complete;
+#   - a degraded-but-clean run exits 7 with a stderr note; a hard error
+#     keeps its own exit code but the degraded-cell note is not swallowed;
+#   - `classify` reports the fast-path fragment view;
+#   - --no-fastpath (generic-oracle ablation) does not change answers.
+set -eu
+tool="$1"
+quickstart="$2"
+tmp="${TMPDIR:-/tmp}/ddbtool_cli_$$"
+mkdir -p "$tmp"
+trap 'rm -rf "$tmp"' EXIT
+
+fail() {
+  echo "FAIL: $1" >&2
+  exit 1
+}
+
+printf 'a | b.\n' > "$tmp/two.ddb"
+
+# 1. A --limit cut is flagged, and the reported count is the true total.
+out=$("$tool" models "$tmp/two.ddb" -s egcwa --limit 1)
+echo "$out" | grep -q '^2 model(s) under egcwa' || fail "models: total count"
+echo "$out" | grep -q 'truncated by --limit: 1 of 2 shown' \
+  || fail "models: truncation marker"
+
+# 2. An uncut listing carries no marker.
+out=$("$tool" models "$tmp/two.ddb" -s egcwa)
+if echo "$out" | grep -q 'truncated'; then
+  fail "models: spurious truncation marker"
+fi
+
+# 3. A run that degraded an answer (but hit no error) exits 7 and reports
+#    the degraded count on stderr.
+code=0
+err=$("$tool" query "$quickstart" -s gcwa -q '~cat' --budget-ticks 1 \
+  2>&1 >/dev/null) || code=$?
+[ "$code" -eq 7 ] || fail "degraded run: expected exit 7, got $code"
+echo "$err" | grep -q 'degraded to unknown' || fail "degraded run: stderr note"
+
+# 4. --on-exhaust fail: the hard error outranks exit 7, and stderr still
+#    carries the degraded-cell information.
+code=0
+err=$("$tool" query "$quickstart" -s gcwa -q '~cat' --budget-ticks 1 \
+  --on-exhaust fail 2>&1 >/dev/null) || code=$?
+[ "$code" -ne 0 ] || fail "hard error: expected nonzero exit"
+[ "$code" -ne 7 ] || fail "hard error: must outrank exit 7"
+echo "$err" | grep -q 'budget exhausted' || fail "hard error: message"
+echo "$err" | grep -q 'degraded to unknown' \
+  || fail "hard error: degraded note swallowed"
+
+# 5. classify reports the fragment classifier's view.
+out=$("$tool" classify "$quickstart")
+echo "$out" | grep -q '^fragments: *positive' || fail "classify: fragments line"
+
+# 6. The fast-path dispatch and the generic oracle agree on a routed cell.
+a=$("$tool" query "$quickstart" -s gcwa -q '~cat')
+b=$("$tool" query "$quickstart" -s gcwa -q '~cat' --no-fastpath)
+[ "$a" = "$b" ] || fail "fastpath ablation changed the answer"
+
+echo "cli tests passed"

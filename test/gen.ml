@@ -39,6 +39,25 @@ let positive_db rand ~num_vars ~num_clauses =
 let dddb_with_integrity rand ~num_vars ~num_clauses =
   db rand ~num_vars ~num_clauses ~allow_neg:false ~allow_integrity:true
 
+(* Definite-Horn database: positive, every non-integrity clause has exactly
+   one head atom; positive integrity clauses optionally allowed.  The
+   fragment behind the Table 1/2 least-model fast paths. *)
+let definite_db ?(allow_integrity = true) rand ~num_vars ~num_clauses =
+  let clause () =
+    if allow_integrity && Random.State.int rand 6 = 0 then
+      let k = 1 + Random.State.int rand 2 in
+      Clause.make ~head:[]
+        ~pos:(List.init k (fun _ -> atom rand num_vars))
+        ~neg:[]
+    else
+      Clause.make
+        ~head:[ atom rand num_vars ]
+        ~pos:(atoms rand num_vars ~max_count:2)
+        ~neg:[]
+  in
+  let vocab = Vocab.of_size num_vars in
+  Db.make ~vocab (List.init num_clauses (fun _ -> clause ()))
+
 (* General DNDB. *)
 let dndb rand ~num_vars ~num_clauses =
   db rand ~num_vars ~num_clauses ~allow_neg:true ~allow_integrity:true

@@ -378,6 +378,32 @@ let split_suite =
             check "fact first" true
               (List.exists (fun c -> Clause.head c = [ 0 ]) first)
           | [] -> Alcotest.fail "no strata"));
+    Alcotest.test_case
+      "Stratify.split: integrity clause waits for its negative atoms" `Quick
+      (fun () ->
+        (* a=0 in S0, b=1 in S1 (via not a), c=2 in S2 (via not b).  The
+           integrity clause [:- a, not b] mentions nothing above S1, but
+           ¬b is only settled once S1 is *closed* — it must land in S2.
+           (It used to land in S1, the max level mentioned, where a later
+           clause of S1 could still derive b.) *)
+        let db = Db.of_string "a. b :- not a. c :- not b. :- a, not b." in
+        match Ddb_db.Stratify.compute db with
+        | None -> Alcotest.fail "stratified"
+        | Some strat ->
+          check_int "three strata" 3 (Ddb_db.Stratify.num_strata strat);
+          let groups = Ddb_db.Stratify.split db strat in
+          check_int "covers all clauses" (Db.size db)
+            (List.fold_left (fun acc g -> acc + List.length g) 0 groups);
+          let level_of_integrity =
+            List.concat
+              (List.mapi
+                 (fun i g ->
+                   List.filter_map
+                     (fun c -> if Clause.head c = [] then Some i else None)
+                     g)
+                 groups)
+          in
+          check "integrity in S2" true (level_of_integrity = [ 2 ]));
     Alcotest.test_case "blocking clause excludes exactly supersets" `Quick
       (fun () ->
         let m = Interp.of_list 3 [ 0; 2 ] in

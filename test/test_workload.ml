@@ -47,6 +47,39 @@ let rng_suite =
         let parent = Rng.create 3 in
         let child = Rng.split parent in
         check "child evolves" true (Rng.int child 100 >= 0));
+    Alcotest.test_case "huge bounds stay in range" `Quick (fun () ->
+        (* Near the top of the 61-bit draw range rejection actually kicks
+           in; the old [r mod bound] was visibly biased here. *)
+        let rng = Rng.create 13 in
+        let bound = (1 lsl 61) - 3 in
+        check "bounds" true
+          (List.for_all
+             (fun _ ->
+               let v = Rng.int rng bound in
+               v >= 0 && v < bound)
+             (List.init 200 Fun.id)));
+    Alcotest.test_case "pick_arr agrees with pick" `Quick (fun () ->
+        let xs = [ 3; 1; 4; 1; 5; 9; 2; 6 ] in
+        let a = Rng.create 21 and b = Rng.create 21 in
+        let via_list = List.init 50 (fun _ -> Rng.pick a xs) in
+        let arr = Array.of_list xs in
+        let via_arr = List.init 50 (fun _ -> Rng.pick_arr b arr) in
+        check "same stream" true (via_list = via_arr));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:(Gen.qcheck_count 25)
+         ~name:"Rng.int residues are balanced (no modulo bias)"
+         QCheck.(pair (int_bound 999999) (int_range 2 13))
+         (fun (seed, bound) ->
+           let rng = Rng.create seed in
+           let n = 300 * bound in
+           let counts = Array.make bound 0 in
+           for _ = 1 to n do
+             let v = Rng.int rng bound in
+             counts.(v) <- counts.(v) + 1
+           done;
+           (* expected 300 per residue; ±35 % is ≈6σ — deterministic
+              failures here mean real bias, not noise. *)
+           Array.for_all (fun c -> c > 195 && c < 405) counts));
   ]
 
 (* --- Random_db profiles --- *)
